@@ -1,0 +1,286 @@
+package hypermm
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Benchmark harness: one benchmark family per paper artifact.
+//
+//   - BenchmarkTable1_*  regenerate Table 1 (collective costs): each
+//     iteration runs the collective on the emulator; the reported
+//     custom metrics sim_a / sim_b are the measured t_s and t_w
+//     coefficients, directly comparable to Table 1's rows.
+//   - BenchmarkTable2_*  regenerate Table 2 (algorithm communication
+//     overheads) the same way, per algorithm per port model.
+//   - BenchmarkTable3_*  regenerate Table 3: sim_space is the measured
+//     aggregate peak storage in words.
+//   - BenchmarkFig13/BenchmarkFig14 regenerate the region maps; the
+//     metric share_3dall is the fraction of the applicable parameter
+//     space won by 3D All.
+//
+// ns/op always measures the real cost of the emulation itself.
+
+func benchCollective(b *testing.B, c Collective, ports PortModel) {
+	const N, M = 8, 96
+	var a, bw float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		a, bw, err = MeasuredCollective(c, N, M, ports)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(a, "sim_a")
+	b.ReportMetric(bw, "sim_b")
+}
+
+func BenchmarkTable1_Bcast_OnePort(b *testing.B)   { benchCollective(b, OneToAllBcast, OnePort) }
+func BenchmarkTable1_Bcast_MultiPort(b *testing.B) { benchCollective(b, OneToAllBcast, MultiPort) }
+func BenchmarkTable1_Scatter_OnePort(b *testing.B) { benchCollective(b, OneToAllPersonalized, OnePort) }
+func BenchmarkTable1_Scatter_MultiPort(b *testing.B) {
+	benchCollective(b, OneToAllPersonalized, MultiPort)
+}
+func BenchmarkTable1_AllGather_OnePort(b *testing.B) { benchCollective(b, AllToAllBcast, OnePort) }
+func BenchmarkTable1_AllGather_MultiPort(b *testing.B) {
+	benchCollective(b, AllToAllBcast, MultiPort)
+}
+func BenchmarkTable1_AllToAll_OnePort(b *testing.B) {
+	benchCollective(b, AllToAllPersonalized, OnePort)
+}
+func BenchmarkTable1_AllToAll_MultiPort(b *testing.B) {
+	benchCollective(b, AllToAllPersonalized, MultiPort)
+}
+func BenchmarkTable1_Reduce_OnePort(b *testing.B) { benchCollective(b, AllToOneReduce, OnePort) }
+func BenchmarkTable1_ReduceScatter_OnePort(b *testing.B) {
+	benchCollective(b, AllToAllReduce, OnePort)
+}
+
+// benchAlgorithm measures one Table 2 row: it runs the algorithm on the
+// emulator each iteration and reports the measured overhead
+// coefficients plus the analytic prediction.
+func benchAlgorithm(b *testing.B, alg Algorithm, p, n int, ports PortModel) {
+	A := RandomMatrix(n, n, 1)
+	B := RandomMatrix(n, n, 2)
+	cfg := Config{P: p, Ports: ports, Ts: 150, Tw: 3, Tc: 0}
+	var elapsed float64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(alg, cfg, A, B)
+		if err != nil {
+			b.Fatal(err)
+		}
+		elapsed = res.Elapsed
+	}
+	b.ReportMetric(elapsed, "sim_time")
+	if t, ok := CommTime(alg, float64(n), float64(p), cfg.Ts, cfg.Tw, ports); ok {
+		b.ReportMetric(t, "analytic_time")
+	}
+}
+
+func BenchmarkTable2_Simple_OnePort(b *testing.B)     { benchAlgorithm(b, Simple, 64, 48, OnePort) }
+func BenchmarkTable2_Simple_MultiPort(b *testing.B)   { benchAlgorithm(b, Simple, 64, 48, MultiPort) }
+func BenchmarkTable2_Cannon_OnePort(b *testing.B)     { benchAlgorithm(b, Cannon, 64, 48, OnePort) }
+func BenchmarkTable2_Cannon_MultiPort(b *testing.B)   { benchAlgorithm(b, Cannon, 64, 48, MultiPort) }
+func BenchmarkTable2_HJE_MultiPort(b *testing.B)      { benchAlgorithm(b, HJE, 64, 48, MultiPort) }
+func BenchmarkTable2_Berntsen_OnePort(b *testing.B)   { benchAlgorithm(b, Berntsen, 64, 48, OnePort) }
+func BenchmarkTable2_Berntsen_MultiPort(b *testing.B) { benchAlgorithm(b, Berntsen, 64, 48, MultiPort) }
+func BenchmarkTable2_DNS_OnePort(b *testing.B)        { benchAlgorithm(b, DNS, 64, 48, OnePort) }
+func BenchmarkTable2_DNS_MultiPort(b *testing.B)      { benchAlgorithm(b, DNS, 64, 48, MultiPort) }
+func BenchmarkTable2_ThreeDiag_OnePort(b *testing.B)  { benchAlgorithm(b, ThreeDiag, 64, 48, OnePort) }
+func BenchmarkTable2_ThreeDiag_MultiPort(b *testing.B) {
+	benchAlgorithm(b, ThreeDiag, 64, 48, MultiPort)
+}
+func BenchmarkTable2_AllTrans_OnePort(b *testing.B)   { benchAlgorithm(b, AllTrans, 64, 48, OnePort) }
+func BenchmarkTable2_AllTrans_MultiPort(b *testing.B) { benchAlgorithm(b, AllTrans, 64, 48, MultiPort) }
+func BenchmarkTable2_ThreeAll_OnePort(b *testing.B)   { benchAlgorithm(b, ThreeAll, 64, 48, OnePort) }
+func BenchmarkTable2_ThreeAll_MultiPort(b *testing.B) { benchAlgorithm(b, ThreeAll, 64, 48, MultiPort) }
+
+// benchSpace measures one Table 3 row.
+func benchSpace(b *testing.B, alg Algorithm, p, n int) {
+	A := RandomMatrix(n, n, 1)
+	B := RandomMatrix(n, n, 2)
+	cfg := Config{P: p, Ports: OnePort, Ts: 1, Tw: 1, Tc: 0}
+	var peak int
+	for i := 0; i < b.N; i++ {
+		res, err := Run(alg, cfg, A, B)
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak = res.Comm.PeakWordsTotal
+	}
+	b.ReportMetric(float64(peak), "sim_space_words")
+	if s, ok := Space(alg, float64(n), float64(p)); ok {
+		b.ReportMetric(s, "analytic_space_words")
+	}
+}
+
+func BenchmarkTable3_Simple(b *testing.B)    { benchSpace(b, Simple, 64, 48) }
+func BenchmarkTable3_Cannon(b *testing.B)    { benchSpace(b, Cannon, 64, 48) }
+func BenchmarkTable3_HJE(b *testing.B)       { benchSpace(b, HJE, 64, 48) }
+func BenchmarkTable3_Berntsen(b *testing.B)  { benchSpace(b, Berntsen, 64, 48) }
+func BenchmarkTable3_DNS(b *testing.B)       { benchSpace(b, DNS, 64, 48) }
+func BenchmarkTable3_ThreeDiag(b *testing.B) { benchSpace(b, ThreeDiag, 64, 48) }
+func BenchmarkTable3_AllTrans(b *testing.B)  { benchSpace(b, AllTrans, 64, 48) }
+func BenchmarkTable3_ThreeAll(b *testing.B)  { benchSpace(b, ThreeAll, 64, 48) }
+
+// benchRegion regenerates one region-map panel per iteration.
+func benchRegion(b *testing.B, ports PortModel, ts float64) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = RegionMap(ports, ts, 3, 5, 14, 64, 3, 20, 32)
+	}
+	if len(out) == 0 {
+		b.Fatal("empty region map")
+	}
+	// Report 3D All's share of the winning regions.
+	wins, cells := 0, 0
+	for _, ch := range out {
+		switch ch {
+		case 'A':
+			wins++
+			cells++
+		case 'C', 'B', 'D', 'H', '.':
+			cells++
+		}
+	}
+	b.ReportMetric(float64(wins)/float64(cells), "share_3dall")
+}
+
+func BenchmarkFig13_PanelA_Ts150(b *testing.B) { benchRegion(b, OnePort, 150) }
+func BenchmarkFig13_PanelB_Ts50(b *testing.B)  { benchRegion(b, OnePort, 50) }
+func BenchmarkFig13_PanelC_Ts10(b *testing.B)  { benchRegion(b, OnePort, 10) }
+func BenchmarkFig13_PanelD_Ts2(b *testing.B)   { benchRegion(b, OnePort, 2) }
+func BenchmarkFig14_PanelA_Ts150(b *testing.B) { benchRegion(b, MultiPort, 150) }
+func BenchmarkFig14_PanelB_Ts50(b *testing.B)  { benchRegion(b, MultiPort, 50) }
+func BenchmarkFig14_PanelC_Ts10(b *testing.B)  { benchRegion(b, MultiPort, 10) }
+func BenchmarkFig14_PanelD_Ts2(b *testing.B)   { benchRegion(b, MultiPort, 2) }
+
+// Real-machine kernel benchmarks: the local block multiply every
+// simulated processor executes.
+func BenchmarkLocalMatMul(b *testing.B) {
+	for _, n := range []int{32, 64, 128, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			A := RandomMatrix(n, n, 1)
+			B := RandomMatrix(n, n, 2)
+			b.SetBytes(int64(8 * n * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMul(A, B)
+			}
+		})
+	}
+}
+
+// BenchmarkEmulatorThroughput: how fast the goroutine machine itself
+// runs a full 3D All multiplication, end to end.
+func BenchmarkEmulatorThroughput(b *testing.B) {
+	for _, c := range []struct{ p, n int }{{8, 32}, {64, 64}, {512, 128}} {
+		b.Run(fmt.Sprintf("p=%d_n=%d", c.p, c.n), func(b *testing.B) {
+			A := RandomMatrix(c.n, c.n, 1)
+			B := RandomMatrix(c.n, c.n, 2)
+			cfg := Config{P: c.p, Ports: OnePort, Ts: 150, Tw: 3, Tc: 0.5}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(ThreeAll, cfg, A, B); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+// BenchmarkAblation_GridShape sweeps the rectangular 3-D All variant's
+// y extent at fixed p: qy = cbrt(p) is the paper's cube; flatter grids
+// trade communication structure for applicability.
+func BenchmarkAblation_GridShape(b *testing.B) {
+	const p, n = 64, 64
+	A := RandomMatrix(n, n, 1)
+	B := RandomMatrix(n, n, 2)
+	for _, qy := range []int{16, 4, 1} { // Q = 2, 4, 8
+		b.Run(fmt.Sprintf("qy=%d", qy), func(b *testing.B) {
+			cfg := Config{P: p, Ports: OnePort, Ts: 150, Tw: 3, Tc: 0}
+			var elapsed float64
+			var space int
+			for i := 0; i < b.N; i++ {
+				res, err := RunThreeAllGrid(cfg, A, B, qy)
+				if err != nil {
+					b.Fatal(err)
+				}
+				elapsed, space = res.Elapsed, res.Comm.PeakWordsTotal
+			}
+			b.ReportMetric(elapsed, "sim_time")
+			b.ReportMetric(float64(space), "sim_space_words")
+		})
+	}
+}
+
+// BenchmarkAblation_SupernodeSplit sweeps the DNS+Cannon combination's
+// supernode count at fixed p: s = p is pure DNS (fast, space-hungry),
+// small s approaches Cannon (slow, lean).
+func BenchmarkAblation_SupernodeSplit(b *testing.B) {
+	const p, n = 512, 64
+	A := RandomMatrix(n, n, 1)
+	B := RandomMatrix(n, n, 2)
+	for _, s := range []int{512, 8} { // r = 1 (pure DNS) and r = 64 (8x8 Cannon meshes)
+		b.Run(fmt.Sprintf("s=%d", s), func(b *testing.B) {
+			cfg := Config{P: p, Ports: OnePort, Ts: 150, Tw: 3, Tc: 0}
+			var elapsed float64
+			var space int
+			for i := 0; i < b.N; i++ {
+				res, err := RunDNSCannon(cfg, A, B, s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				elapsed, space = res.Elapsed, res.Comm.PeakWordsTotal
+			}
+			b.ReportMetric(elapsed, "sim_time")
+			b.ReportMetric(float64(space), "sim_space_words")
+		})
+	}
+}
+
+// BenchmarkTable2Ext_Fox covers the extension baseline.
+func BenchmarkTable2Ext_Fox_OnePort(b *testing.B)   { benchAlgorithm(b, Fox, 64, 48, OnePort) }
+func BenchmarkTable2Ext_Fox_MultiPort(b *testing.B) { benchAlgorithm(b, Fox, 64, 48, MultiPort) }
+
+// BenchmarkCollectiveScaling: emulator cost and simulated cost of the
+// all-gather as the chain grows — how the harness itself scales.
+func BenchmarkCollectiveScaling(b *testing.B) {
+	for _, N := range []int{8, 64, 512} {
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			var simB float64
+			for i := 0; i < b.N; i++ {
+				_, bb, err := MeasuredCollective(AllToAllBcast, N, 256, OnePort)
+				if err != nil {
+					b.Fatal(err)
+				}
+				simB = bb
+			}
+			b.ReportMetric(simB, "sim_b")
+		})
+	}
+}
+
+// BenchmarkRepeatedSquaring: chained rounds in one machine session.
+func BenchmarkRepeatedSquaring(b *testing.B) {
+	A := RandomMatrix(64, 64, 1)
+	for i := range A.Data {
+		A.Data[i] *= 0.1
+	}
+	cfg := Config{P: 64, Ports: OnePort, Ts: 150, Tw: 3, Tc: 0.5}
+	for _, rounds := range []int{1, 4} {
+		b.Run(fmt.Sprintf("rounds=%d", rounds), func(b *testing.B) {
+			var elapsed float64
+			for i := 0; i < b.N; i++ {
+				res, err := RunRepeatedSquaring(cfg, A, rounds)
+				if err != nil {
+					b.Fatal(err)
+				}
+				elapsed = res.Elapsed
+			}
+			b.ReportMetric(elapsed, "sim_time")
+		})
+	}
+}

@@ -1,0 +1,129 @@
+// Command hmm multiplies two random matrices on a simulated hypercube
+// multicomputer with a chosen algorithm and reports the simulated time,
+// communication counters, and verification against the serial product.
+//
+// Usage:
+//
+//	hmm -alg 3dall -n 256 -p 64 -ports one -ts 150 -tw 3 -tc 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hypermm"
+)
+
+func main() {
+	var (
+		algName = flag.String("alg", "3dall", "algorithm: simple, cannon, hje, berntsen, dns, fox, 2dd, 3dd, alltrans, 3dall, 3dgrid (with -qy), dnscannon (with -s), 3ddcannon (with -s), cannontorus")
+		n       = flag.Int("n", 256, "matrix size n (n x n operands)")
+		p       = flag.Int("p", 64, "number of processors (power of two)")
+		ports   = flag.String("ports", "one", "port model: one or multi")
+		ts      = flag.Float64("ts", 150, "message start-up time t_s")
+		tw      = flag.Float64("tw", 3, "per-word transfer time t_w")
+		tc      = flag.Float64("tc", 0.5, "per-flop compute time t_c")
+		seed    = flag.Int64("seed", 1, "random seed for the operands")
+		verify  = flag.Bool("verify", true, "check the result against the serial product")
+		showTr  = flag.Bool("trace", false, "print a per-node timeline and utilization summary (small p recommended)")
+		qy      = flag.Int("qy", 0, "y extent for -alg 3dgrid (the rectangular 3-D All variant)")
+		sn      = flag.Int("s", 0, "supernode count for -alg dnscannon")
+	)
+	flag.Parse()
+
+	pm, err := parsePorts(*ports)
+	if err != nil {
+		fatal(err)
+	}
+
+	A := hypermm.RandomMatrix(*n, *n, *seed)
+	B := hypermm.RandomMatrix(*n, *n, *seed+1)
+	cfg := hypermm.Config{P: *p, Ports: pm, Ts: *ts, Tw: *tw, Tc: *tc}
+
+	var res *hypermm.Result
+	var tr *hypermm.Trace
+	var label string
+	switch *algName {
+	case "3dgrid":
+		if *qy <= 0 {
+			fatal(fmt.Errorf("-alg 3dgrid needs -qy"))
+		}
+		label = fmt.Sprintf("3D All (grid, qy=%d)", *qy)
+		res, err = hypermm.RunThreeAllGrid(cfg, A, B, *qy)
+	case "dnscannon":
+		if *sn <= 0 {
+			fatal(fmt.Errorf("-alg dnscannon needs -s"))
+		}
+		label = fmt.Sprintf("DNS+Cannon (s=%d)", *sn)
+		res, err = hypermm.RunDNSCannon(cfg, A, B, *sn)
+	case "3ddcannon":
+		if *sn <= 0 {
+			fatal(fmt.Errorf("-alg 3ddcannon needs -s"))
+		}
+		label = fmt.Sprintf("3DD+Cannon (s=%d)", *sn)
+		res, err = hypermm.RunThreeDiagCannon(cfg, A, B, *sn)
+	case "cannontorus":
+		label = "Cannon (2-D torus)"
+		res, err = hypermm.RunCannonTorus(cfg, A, B)
+	default:
+		var alg hypermm.Algorithm
+		alg, err = hypermm.ParseAlgorithm(*algName)
+		if err != nil {
+			fatal(err)
+		}
+		label = alg.String()
+		if *showTr {
+			res, tr, err = hypermm.RunTraced(alg, cfg, A, B)
+		} else {
+			res, err = hypermm.Run(alg, cfg, A, B)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s on a %d-processor %v machine, n=%d (t_s=%g t_w=%g t_c=%g)\n",
+		label, *p, pm, *n, *ts, *tw, *tc)
+	fmt.Printf("  simulated time      %12.1f\n", res.Elapsed)
+	if alg, perr := hypermm.ParseAlgorithm(*algName); perr == nil {
+		if t, ok := hypermm.TotalTime(alg, float64(*n), float64(*p), *ts, *tw, *tc, pm); ok {
+			fmt.Printf("  analytic (Table 2)  %12.1f\n", t)
+		}
+	}
+	fmt.Printf("  messages            %12d\n", res.Comm.Msgs)
+	fmt.Printf("  words moved         %12d\n", res.Comm.Words)
+	fmt.Printf("  start-ups (hops)    %12d\n", res.Comm.Startups)
+	fmt.Printf("  flops               %12d\n", res.Comm.Flops)
+	fmt.Printf("  peak space (total)  %12d words\n", res.Comm.PeakWordsTotal)
+
+	if tr != nil {
+		fmt.Println()
+		fmt.Print(tr.Gantt(100))
+		fmt.Println()
+		fmt.Print(tr.Summary())
+	}
+
+	if *verify {
+		if err := hypermm.Verify(A, B, res.C, 1e-8*float64(*n)); err != nil {
+			fatal(err)
+		}
+		fmt.Println("  verification        OK (matches serial product)")
+	}
+}
+
+func parsePorts(s string) (hypermm.PortModel, error) {
+	switch s {
+	case "one", "oneport", "one-port":
+		return hypermm.OnePort, nil
+	case "multi", "multiport", "multi-port":
+		return hypermm.MultiPort, nil
+	default:
+		return 0, fmt.Errorf("unknown port model %q (want one or multi)", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hmm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Command stress hammers one algorithm repeatedly on a large machine
+// with a stall watchdog, printing simnet deadlock diagnostics if a run
+// wedges. A development tool for shaking out message-matching bugs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hypermm/internal/algorithms"
+	"hypermm/internal/matrix"
+	"hypermm/internal/simnet"
+)
+
+func main() {
+	var (
+		p      = flag.Int("p", 1024, "processors")
+		n      = flag.Int("n", 256, "matrix size")
+		trials = flag.Int("trials", 20, "repetitions")
+		stall  = flag.Duration("stall", 20*time.Second, "watchdog timeout per trial")
+	)
+	flag.Parse()
+	A := matrix.Random(*n, *n, 1)
+	B := matrix.Random(*n, *n, 2)
+	for trial := 0; trial < *trials; trial++ {
+		m := simnet.NewMachine(simnet.Config{P: *p, Ports: simnet.OnePort, Ts: 150, Tw: 3})
+		done := make(chan struct{})
+		go func() {
+			select {
+			case <-done:
+			case <-time.After(*stall):
+				fmt.Printf("trial %d STALLED; diagnostics:\n%s\n", trial, m.Diagnose())
+				os.Exit(2)
+			}
+		}()
+		C, _, err := algorithms.Cannon(m, A, B)
+		close(done)
+		if err != nil {
+			fmt.Println("error:", err)
+			os.Exit(1)
+		}
+		if matrix.MaxAbsDiff(C, matrix.Mul(A, B)) > 1e-8 {
+			fmt.Println("WRONG RESULT at trial", trial)
+			os.Exit(1)
+		}
+		fmt.Printf("trial %d ok\n", trial)
+	}
+}

@@ -1,0 +1,86 @@
+// Command sweep measures every runnable algorithm across a sweep of
+// machine sizes (fixed n) or matrix sizes (fixed p), printing measured
+// simulated times next to the analytic Table 2 predictions — the data
+// behind the paper's Section 5 crossover claims.
+//
+// Usage:
+//
+//	sweep -axis p -n 256 -ts 150 -tw 3            # p = 4..4096
+//	sweep -axis n -p 64 -ports multi              # n sweep on 64 nodes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hypermm"
+)
+
+func main() {
+	var (
+		axis  = flag.String("axis", "p", "sweep axis: p (machine size) or n (matrix size)")
+		n     = flag.Int("n", 256, "matrix size (fixed when sweeping p)")
+		p     = flag.Int("p", 64, "processors (fixed when sweeping n)")
+		ports = flag.String("ports", "one", "port model: one or multi")
+		ts    = flag.Float64("ts", 150, "start-up cost t_s")
+		tw    = flag.Float64("tw", 3, "per-word cost t_w")
+	)
+	flag.Parse()
+
+	pm := hypermm.OnePort
+	if *ports == "multi" || *ports == "multiport" || *ports == "multi-port" {
+		pm = hypermm.MultiPort
+	}
+
+	algs := []hypermm.Algorithm{
+		hypermm.Simple, hypermm.Cannon, hypermm.HJE, hypermm.Berntsen,
+		hypermm.DNS, hypermm.ThreeDiag, hypermm.AllTrans, hypermm.ThreeAll,
+	}
+
+	switch *axis {
+	case "p":
+		fmt.Printf("Communication time sweep over p (n=%d, %v, t_s=%g, t_w=%g)\n", *n, pm, *ts, *tw)
+		fmt.Printf("  cells: measured/analytic; '-' = not runnable at that size\n")
+		header(algs)
+		for _, pp := range []int{4, 8, 16, 64, 256, 512, 4096} {
+			row(fmt.Sprintf("p=%d", pp), algs, pp, *n, pm, *ts, *tw)
+		}
+	case "n":
+		fmt.Printf("Communication time sweep over n (p=%d, %v, t_s=%g, t_w=%g)\n", *p, pm, *ts, *tw)
+		header(algs)
+		for _, nn := range []int{32, 64, 128, 256, 512} {
+			row(fmt.Sprintf("n=%d", nn), algs, *p, nn, pm, *ts, *tw)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown axis %q\n", *axis)
+		os.Exit(1)
+	}
+}
+
+func header(algs []hypermm.Algorithm) {
+	fmt.Printf("%-8s", "")
+	for _, a := range algs {
+		fmt.Printf(" %-21s", a.Name())
+	}
+	fmt.Println()
+}
+
+func row(label string, algs []hypermm.Algorithm, p, n int, pm hypermm.PortModel, ts, tw float64) {
+	fmt.Printf("%-8s", label)
+	A := hypermm.RandomMatrix(n, n, 3)
+	B := hypermm.RandomMatrix(n, n, 4)
+	for _, alg := range algs {
+		analytic, okA := hypermm.CommTime(alg, float64(n), float64(p), ts, tw, pm)
+		res, err := hypermm.Run(alg, hypermm.Config{P: p, Ports: pm, Ts: ts, Tw: tw, Tc: 0}, A, B)
+		switch {
+		case err == nil && okA:
+			fmt.Printf(" %9.3g/%-11.3g", res.Elapsed, analytic)
+		case err == nil:
+			fmt.Printf(" %9.3g/%-11s", res.Elapsed, "n/a")
+		default:
+			fmt.Printf(" %-21s", "-")
+		}
+	}
+	fmt.Println()
+}

@@ -1,0 +1,147 @@
+// Command tables regenerates the paper's Tables 1, 2 and 3, printing
+// the analytic expressions evaluated at a chosen (n, p) next to the
+// values measured on the channel-level hypercube emulator.
+//
+// Usage:
+//
+//	tables -table all -n 256 -p 64 -N 8 -M 96
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hypermm"
+)
+
+func main() {
+	var (
+		which = flag.String("table", "all", "which table to print: 1, 2, 3, iso or all")
+		n     = flag.Int("n", 240, "matrix size for Tables 2 and 3 (240 is divisible by cbrt(64)^2 and by sqrt(64)*log sqrt(64), so every algorithm runs)")
+		p     = flag.Int("p", 64, "processors for Tables 2 and 3 (power of 8 recommended)")
+		bigN  = flag.Int("N", 8, "hypercube size for Table 1")
+		bigM  = flag.Int("M", 96, "message words for Table 1")
+	)
+	flag.Parse()
+
+	switch *which {
+	case "1":
+		table1(*bigN, *bigM)
+	case "2":
+		table2(*n, *p)
+	case "3":
+		table3(*n, *p)
+	case "iso":
+		tableIso()
+	case "all":
+		table1(*bigN, *bigM)
+		fmt.Println()
+		table2(*n, *p)
+		fmt.Println()
+		table3(*n, *p)
+		fmt.Println()
+		tableIso()
+	default:
+		fmt.Fprintf(os.Stderr, "tables: unknown table %q\n", *which)
+		os.Exit(1)
+	}
+}
+
+func table1(N, M int) {
+	fmt.Printf("Table 1: optimal collective costs on an N=%d hypercube, M=%d words\n", N, M)
+	fmt.Printf("  (time = t_s*a + t_w*b; analytic vs measured on the emulator)\n")
+	fmt.Printf("%-36s %10s %10s %10s | %10s %10s %10s\n",
+		"", "a", "b 1-port", "b m-port", "a meas", "b 1p meas", "b mp meas")
+	for _, c := range hypermm.Collectives {
+		a1, b1 := hypermm.CollectiveCost(c, float64(N), float64(M), hypermm.OnePort)
+		_, bm := hypermm.CollectiveCost(c, float64(N), float64(M), hypermm.MultiPort)
+		ma, mb1, err := hypermm.MeasuredCollective(c, N, M, hypermm.OnePort)
+		if err != nil {
+			fail(err)
+		}
+		_, mbm, err := hypermm.MeasuredCollective(c, N, M, hypermm.MultiPort)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-36s %10.1f %10.1f %10.1f | %10.1f %10.1f %10.1f\n",
+			c, a1, b1, bm, ma, mb1, mbm)
+	}
+}
+
+func table2(n, p int) {
+	fmt.Printf("Table 2: communication overheads at n=%d, p=%d\n", n, p)
+	fmt.Printf("  (time = t_s*a + t_w*b; analytic charges phases sequentially, the\n")
+	fmt.Printf("   emulator pipelines them, so measured <= analytic)\n")
+	for _, pm := range []hypermm.PortModel{hypermm.OnePort, hypermm.MultiPort} {
+		fmt.Printf("-- %v --\n", pm)
+		fmt.Printf("%-22s %12s %14s %12s %14s\n", "algorithm", "a analytic", "b analytic", "a measured", "b measured")
+		for _, alg := range hypermm.Algorithms {
+			if alg == hypermm.TwoDiag {
+				continue // stepping stone; not a Table 2 row
+			}
+			aA, bA, ok := hypermm.Overhead(alg, float64(n), float64(p), pm)
+			if !ok {
+				fmt.Printf("%-22s %12s\n", alg, "n/a")
+				continue
+			}
+			aM, bM, err := hypermm.MeasuredOverhead(alg, p, n, pm)
+			if err != nil {
+				fmt.Printf("%-22s %12.1f %14.1f   (not runnable here: %v)\n", alg, aA, bA, err)
+				continue
+			}
+			fmt.Printf("%-22s %12.1f %14.1f %12.1f %14.1f\n", alg, aA, bA, aM, bM)
+		}
+	}
+}
+
+func table3(n, p int) {
+	fmt.Printf("Table 3: applicability and aggregate space at n=%d, p=%d\n", n, p)
+	fmt.Printf("%-22s %12s %16s %16s\n", "algorithm", "applicable", "space analytic", "space measured")
+	A := hypermm.RandomMatrix(n, n, 7)
+	B := hypermm.RandomMatrix(n, n, 8)
+	for _, alg := range hypermm.Algorithms {
+		if alg == hypermm.TwoDiag {
+			continue
+		}
+		app := hypermm.Applicable(alg, float64(n), float64(p))
+		spA, _ := hypermm.Space(alg, float64(n), float64(p))
+		var measured string
+		if res, err := hypermm.Run(alg, hypermm.Config{P: p, Ports: hypermm.OnePort, Ts: 1, Tw: 1, Tc: 0}, A, B); err == nil {
+			measured = fmt.Sprintf("%16d", res.Comm.PeakWordsTotal)
+		} else {
+			measured = fmt.Sprintf("%16s", "-")
+		}
+		fmt.Printf("%-22s %12v %16.0f %s\n", alg, app, spA, measured)
+	}
+}
+
+// tableIso prints the isoefficiency view (extension; Gupta-Kumar [5]):
+// the matrix size each algorithm needs to sustain 50% efficiency.
+func tableIso() {
+	const ts, tw, tc, target = 150.0, 3.0, 0.5, 0.5
+	fmt.Printf("Isoefficiency (extension): n for %.0f%% efficiency (t_s=%g t_w=%g t_c=%g, one-port)\n",
+		100*target, ts, tw, tc)
+	algs := []hypermm.Algorithm{hypermm.Cannon, hypermm.Berntsen, hypermm.DNS, hypermm.ThreeDiag, hypermm.ThreeAll}
+	fmt.Printf("%-10s", "p")
+	for _, a := range algs {
+		fmt.Printf(" %10s", a.Name())
+	}
+	fmt.Println()
+	for _, p := range []float64{8, 64, 512, 4096, 32768} {
+		fmt.Printf("%-10.0f", p)
+		for _, a := range algs {
+			if n, ok := hypermm.IsoefficiencyN(a, p, target, ts, tw, tc, hypermm.OnePort); ok {
+				fmt.Printf(" %10.0f", n)
+			} else {
+				fmt.Printf(" %10s", "-")
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tables:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+package hypermm_test
+
+import (
+	"fmt"
+
+	"hypermm"
+)
+
+// Multiply two matrices with the paper's 3-D All algorithm on a
+// simulated 64-node one-port hypercube and verify the product.
+func ExampleRun() {
+	A := hypermm.RandomMatrix(64, 64, 1)
+	B := hypermm.RandomMatrix(64, 64, 2)
+	cfg := hypermm.Config{P: 64, Ports: hypermm.OnePort, Ts: 150, Tw: 3, Tc: 0}
+	res, err := hypermm.Run(hypermm.ThreeAll, cfg, A, B)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("verified:", hypermm.Verify(A, B, res.C, 1e-6) == nil)
+	fmt.Println("simulated communication time:", res.Elapsed)
+	// Output:
+	// verified: true
+	// simulated communication time: 3120
+}
+
+// Table 2 coefficients: communication time is t_s*a + t_w*b.
+func ExampleOverhead() {
+	a, b, ok := hypermm.Overhead(hypermm.ThreeAll, 256, 64, hypermm.OnePort)
+	fmt.Printf("ok=%v a=%.0f b=%.0f\n", ok, a, b)
+	// The measured coefficients from the emulator agree.
+	am, bm, _ := hypermm.MeasuredOverhead(hypermm.ThreeAll, 64, 256, hypermm.OnePort)
+	fmt.Printf("measured a=%.0f b=%.0f\n", am, bm)
+	// Output:
+	// ok=true a=8 b=10240
+	// measured a=8 b=10240
+}
+
+// Which algorithm should a given machine run?
+func ExampleBestAlgorithm() {
+	for _, q := range []struct{ n, p float64 }{{4096, 64}, {256, 65536}} {
+		alg, _ := hypermm.BestAlgorithm(q.n, q.p, 150, 3, hypermm.OnePort)
+		fmt.Printf("n=%.0f p=%.0f -> %v\n", q.n, q.p, alg)
+	}
+	// Output:
+	// n=4096 p=64 -> 3D All
+	// n=256 p=65536 -> 3DD
+}
+
+// Table 1: the optimal collective costs the algorithms build on.
+func ExampleCollectiveCost() {
+	a, b := hypermm.CollectiveCost(hypermm.AllToAllBcast, 8, 96, hypermm.OnePort)
+	fmt.Printf("all-to-all broadcast, one-port: a=%.0f b=%.0f\n", a, b)
+	a, b = hypermm.CollectiveCost(hypermm.AllToAllBcast, 8, 96, hypermm.MultiPort)
+	fmt.Printf("all-to-all broadcast, multi-port: a=%.0f b=%.0f\n", a, b)
+	// Output:
+	// all-to-all broadcast, one-port: a=3 b=672
+	// all-to-all broadcast, multi-port: a=3 b=224
+}
+
+// The rectangular-grid 3-D All variant runs where the cube cannot:
+// p = 128 processors on a 16 x 16 problem exceeds n^1.5 = 64.
+func ExampleRunThreeAllGrid() {
+	A := hypermm.RandomMatrix(16, 16, 1)
+	B := hypermm.RandomMatrix(16, 16, 2)
+	cfg := hypermm.Config{P: 128, Ports: hypermm.OnePort, Ts: 150, Tw: 3, Tc: 0}
+	res, err := hypermm.RunThreeAllGrid(cfg, A, B, 2) // 8 x 2 x 8 grid
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("verified:", hypermm.Verify(A, B, res.C, 1e-6) == nil)
+	// Output:
+	// verified: true
+}
+
+// Isoefficiency: the problem size needed to keep 3-D All at 50%
+// efficiency grows slowly with the machine.
+func ExampleIsoefficiencyN() {
+	for _, p := range []float64{64, 4096} {
+		n, _ := hypermm.IsoefficiencyN(hypermm.ThreeAll, p, 0.5, 150, 3, 0.5, hypermm.OnePort)
+		fmt.Printf("p=%.0f needs n>=%.0f\n", p, n)
+	}
+	// Output:
+	// p=64 needs n>=55
+	// p=4096 needs n>=273
+}

@@ -1,0 +1,30 @@
+// Regionmap: pick the right algorithm for your machine. Renders one
+// panel of the paper's Figure 13 region map and then uses the analytic
+// model to answer "which algorithm should I run?" for a few concrete
+// (n, p) deployments.
+package main
+
+import (
+	"fmt"
+
+	"hypermm"
+)
+
+func main() {
+	fmt.Println(hypermm.RegionMap(hypermm.OnePort, 150, 3, 5, 13, 48, 3, 18, 24))
+
+	fmt.Println("algorithm picker (one-port, t_s=150, t_w=3):")
+	for _, q := range []struct{ n, p float64 }{
+		{4096, 64},   // huge matrix, small machine
+		{1024, 4096}, // p just under n^1.5
+		{256, 65536}, // n^1.5 < p <= n^2
+		{64, 262144}, // n^2 < p <= n^3
+	} {
+		if alg, ok := hypermm.BestAlgorithm(q.n, q.p, 150, 3, hypermm.OnePort); ok {
+			t, _ := hypermm.CommTime(alg, q.n, q.p, 150, 3, hypermm.OnePort)
+			fmt.Printf("  n=%-6.0f p=%-7.0f -> %-12v (comm time %.3g)\n", q.n, q.p, alg, t)
+		} else {
+			fmt.Printf("  n=%-6.0f p=%-7.0f -> no algorithm applicable (p > n^3)\n", q.n, q.p)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Scalability: the isoefficiency view of the paper's result. For each
+// algorithm, print the matrix size needed to sustain 50% parallel
+// efficiency as the machine grows — the scalability metric of Gupta &
+// Kumar, which the paper's introduction cites. 3-D All's lower
+// communication overhead shows up as the flattest curve. A traced run
+// then shows where Cannon loses its time compared with 3-D All on the
+// same machine.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hypermm"
+)
+
+func main() {
+	const ts, tw, tc, target = 150.0, 3.0, 0.5, 0.5
+	algs := []hypermm.Algorithm{hypermm.Cannon, hypermm.Berntsen, hypermm.DNS, hypermm.ThreeDiag, hypermm.ThreeAll}
+	ps := []float64{8, 64, 512, 4096, 32768}
+
+	fmt.Printf("matrix size n needed for %.0f%% efficiency (t_s=%g t_w=%g t_c=%g, one-port)\n",
+		100*target, ts, tw, tc)
+	fmt.Printf("%-12s", "p")
+	for _, a := range algs {
+		fmt.Printf(" %12s", a.Name())
+	}
+	fmt.Println()
+	for _, p := range ps {
+		fmt.Printf("%-12.0f", p)
+		for _, a := range algs {
+			if n, ok := hypermm.IsoefficiencyN(a, p, target, ts, tw, tc, hypermm.OnePort); ok {
+				fmt.Printf(" %12.0f", n)
+			} else {
+				fmt.Printf(" %12s", "-")
+			}
+		}
+		fmt.Println()
+	}
+
+	// Where does Cannon's time go? Trace both on one machine.
+	fmt.Println("\nutilization at n=128, p=64 (one-port):")
+	A := hypermm.RandomMatrix(128, 128, 1)
+	B := hypermm.RandomMatrix(128, 128, 2)
+	cfg := hypermm.Config{P: 64, Ports: hypermm.OnePort, Ts: ts, Tw: tw, Tc: tc}
+	for _, a := range []hypermm.Algorithm{hypermm.Cannon, hypermm.ThreeAll} {
+		res, tr, err := hypermm.RunTraced(a, cfg, A, B)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := hypermm.Verify(A, B, res.C, 1e-6); err != nil {
+			log.Fatal(err)
+		}
+		// Last line of the summary is the overall split.
+		sum := tr.Summary()
+		fmt.Printf("  %-8s elapsed %9.0f   %s", a.Name(), res.Elapsed, lastLine(sum))
+	}
+}
+
+func lastLine(s string) string {
+	lines := []byte(s)
+	// find start of last non-empty line
+	end := len(lines)
+	for end > 0 && lines[end-1] == '\n' {
+		end--
+	}
+	start := end
+	for start > 0 && lines[start-1] != '\n' {
+		start--
+	}
+	return string(lines[start:end]) + "\n"
+}

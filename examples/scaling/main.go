@@ -1,0 +1,85 @@
+// Scaling: a strong-scaling study on the simulated machine. A fixed
+// n x n multiplication runs on growing hypercubes with Cannon's
+// algorithm and the paper's 3-D All algorithm; the table shows how
+// 3-D All's lower communication overhead translates into better
+// speedups at scale — the paper's core claim.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hypermm"
+)
+
+func main() {
+	const n = 256
+	const ts, tw, tc = 150.0, 3.0, 0.5
+
+	serial := 2 * float64(n) * float64(n) * float64(n) * tc
+	fmt.Printf("strong scaling at n=%d (t_s=%g t_w=%g t_c=%g); serial time %.3g\n", n, ts, tw, tc, serial)
+	fmt.Printf("%-8s %-12s %-12s %-10s %-12s %-12s %-10s\n",
+		"p", "cannon", "speedup", "eff", "3dall", "speedup", "eff")
+
+	A := hypermm.RandomMatrix(n, n, 1)
+	B := hypermm.RandomMatrix(n, n, 2)
+
+	for _, p := range []int{64, 512, 4096} {
+		cfg := hypermm.Config{P: p, Ports: hypermm.OnePort, Ts: ts, Tw: tw, Tc: tc}
+
+		// Cannon needs a square processor count; use the analytic model
+		// where the mesh does not fit, the emulator where it does.
+		cannonT := analyticOrMeasured(hypermm.Cannon, cfg, A, B)
+		allT := analyticOrMeasured(hypermm.ThreeAll, cfg, A, B)
+
+		fmt.Printf("%-8d %-12s %-12s %-10s %-12s %-12s %-10s\n", p,
+			fmtT(cannonT), fmtSpeedup(serial, cannonT), fmtEff(serial, cannonT, p),
+			fmtT(allT), fmtSpeedup(serial, allT), fmtEff(serial, allT, p))
+	}
+	fmt.Println("\n(cells marked * are analytic Table 2 values where the grid shape")
+	fmt.Println(" does not fit the processor count; all others are simulated runs)")
+}
+
+type timing struct {
+	t        float64
+	ok       bool
+	analytic bool
+}
+
+func analyticOrMeasured(alg hypermm.Algorithm, cfg hypermm.Config, A, B *hypermm.Matrix) timing {
+	if res, err := hypermm.Run(alg, cfg, A, B); err == nil {
+		if err := hypermm.Verify(A, B, res.C, 1e-6); err != nil {
+			log.Fatalf("%v: %v", alg, err)
+		}
+		return timing{t: res.Elapsed, ok: true}
+	}
+	if t, ok := hypermm.TotalTime(alg, float64(A.Rows), float64(cfg.P), cfg.Ts, cfg.Tw, cfg.Tc, cfg.Ports); ok {
+		return timing{t: t, ok: true, analytic: true}
+	}
+	return timing{}
+}
+
+func fmtT(x timing) string {
+	if !x.ok {
+		return "-"
+	}
+	s := fmt.Sprintf("%.3g", x.t)
+	if x.analytic {
+		s += "*"
+	}
+	return s
+}
+
+func fmtSpeedup(serial float64, x timing) string {
+	if !x.ok {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fx", serial/x.t)
+}
+
+func fmtEff(serial float64, x timing, p int) string {
+	if !x.ok {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", 100*serial/x.t/float64(p))
+}

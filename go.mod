@@ -1,0 +1,3 @@
+module hypermm
+
+go 1.22

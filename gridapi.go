@@ -1,0 +1,135 @@
+package hypermm
+
+import (
+	"fmt"
+
+	"hypermm/internal/algorithms"
+	"hypermm/internal/core"
+	"hypermm/internal/cost"
+	"hypermm/internal/simnet"
+)
+
+// The rectangular-grid 3-D All variant (the paper's closing remark in
+// Section 4.2.2): running 3-D All on a Q x qy x Q virtual grid with
+// p = Q^2*qy extends applicability from p <= n^(3/2) up to ~n^2/2
+// processors, trading replication space (which grows like n^2*sqrt(p)).
+// qy = cbrt(p) recovers the standard algorithm.
+
+// RunThreeAllGrid multiplies A by B with the grid 3-D All variant.
+func RunThreeAllGrid(cfg Config, A, B *Matrix, qy int) (*Result, error) {
+	m, err := newMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c, rs, err := core.ThreeAllGrid(m, A.internal(), B.internal(), qy)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{C: fromInternal(c), Elapsed: rs.Elapsed, Comm: commStats(rs)}, nil
+}
+
+// OverheadThreeAllGrid returns the analytic (a, b) communication
+// coefficients of the grid variant; ok is false for infeasible shapes.
+func OverheadThreeAllGrid(n, p, qy float64, ports PortModel) (a, b float64, ok bool) {
+	return cost.OverheadThreeAllGrid(n, p, qy, ports.internal())
+}
+
+// BestGridQy returns the communication-optimal qy for the grid variant
+// at (n, p), or ok=false if no power-of-two shape fits.
+func BestGridQy(n, p, ts, tw float64, ports PortModel) (qy float64, ok bool) {
+	return cost.BestGridQy(n, p, ts, tw, ports.internal())
+}
+
+// RunDNSCannon multiplies A by B with the DNS+Cannon combination of the
+// paper's Section 3.5: s supernodes (a power of eight), each a
+// p/s-processor Cannon mesh. It trades DNS's cbrt(p)-fold space
+// replication down to cbrt(s)-fold.
+func RunDNSCannon(cfg Config, A, B *Matrix, s int) (*Result, error) {
+	m, err := newMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c, rs, err := algorithms.DNSCannon(m, A.internal(), B.internal(), s)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{C: fromInternal(c), Elapsed: rs.Elapsed, Comm: commStats(rs)}, nil
+}
+
+// OverheadDNSCannon returns the analytic (a, b) communication
+// coefficients of the DNS+Cannon combination.
+func OverheadDNSCannon(n, p, s float64, ports PortModel) (a, b float64, ok bool) {
+	return cost.OverheadDNSCannon(n, p, s, ports.internal())
+}
+
+// RunThreeDiagCannon multiplies A by B with the 3DD+Cannon combination:
+// the 3-D Diagonal algorithm at supernode granularity with Cannon's
+// algorithm computing each supernode's block product. It beats the
+// DNS+Cannon combination in both start-ups and transmission (the
+// paper's Section 3.5 argument), with the same space savings.
+func RunThreeDiagCannon(cfg Config, A, B *Matrix, s int) (*Result, error) {
+	m, err := newMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c, rs, err := core.ThreeDiagCannon(m, A.internal(), B.internal(), s)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{C: fromInternal(c), Elapsed: rs.Elapsed, Comm: commStats(rs)}, nil
+}
+
+// RunCannonTorus multiplies A by B with Cannon's algorithm on a native
+// 2-D torus machine (p must be a perfect square, not necessarily a
+// power of two). Reproduces the paper's Section 3.2 observation that
+// the shift-multiply-add phase performs identically on tori and
+// hypercubes, while the skew phase pays torus distances.
+func RunCannonTorus(cfg Config, A, B *Matrix) (*Result, error) {
+	if cfg.P <= 0 {
+		return nil, fmt.Errorf("hypermm: P=%d must be positive", cfg.P)
+	}
+	if cfg.Ts < 0 || cfg.Tw < 0 || cfg.Tc < 0 {
+		return nil, fmt.Errorf("hypermm: negative cost parameter in %+v", cfg)
+	}
+	m := simnet.NewMachine(simnet.Config{
+		P: cfg.P, Ports: cfg.Ports.internal(), Ts: cfg.Ts, Tw: cfg.Tw, Tc: cfg.Tc,
+		Topology: simnet.Torus2D,
+	})
+	c, rs, err := algorithms.CannonTorus(m, A.internal(), B.internal())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{C: fromInternal(c), Elapsed: rs.Elapsed, Comm: commStats(rs)}, nil
+}
+
+// RunRepeatedSquaring computes A^(2^rounds) by chained 3-D All rounds
+// in a single machine session: because 3-D All's result comes out
+// distributed exactly like its operands (the alignment property the
+// paper emphasizes), no redistribution happens between rounds.
+func RunRepeatedSquaring(cfg Config, A *Matrix, rounds int) (*Result, error) {
+	m, err := newMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c, rs, err := core.ThreeAllRepeated(m, A.internal(), rounds)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{C: fromInternal(c), Elapsed: rs.Elapsed, Comm: commStats(rs)}, nil
+}
+
+// RunThreeDiagTrans multiplies A by B with the Section 4.1.1 stepping
+// stone: the 2-D Diagonal scheme extended to 3-D with B distributed as
+// A's transpose. Same cost as ThreeDiag, which supersedes it by
+// accepting identical distributions.
+func RunThreeDiagTrans(cfg Config, A, B *Matrix) (*Result, error) {
+	m, err := newMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c, rs, err := core.ThreeDiagTrans(m, A.internal(), B.internal())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{C: fromInternal(c), Elapsed: rs.Elapsed, Comm: commStats(rs)}, nil
+}

@@ -1,0 +1,104 @@
+package algorithms
+
+import (
+	"hypermm/internal/collective"
+	"hypermm/internal/hypercube"
+	"hypermm/internal/matrix"
+	"hypermm/internal/simnet"
+)
+
+// Berntsen is Berntsen's algorithm (Section 3.4): the hypercube is cut
+// into cbrt(p) subcubes of p^(2/3) processors each; subcube m computes
+// the outer product of the m-th column group of A and the m-th row
+// group of B with Cannon's algorithm on its internal
+// cbrt(p) x cbrt(p) mesh; and an all-to-all reduction among
+// corresponding processors across subcubes sums the cbrt(p) outer
+// products into C. Applicable for p <= n^(3/2).
+//
+// The result is left distributed differently from the operands (each
+// processor holds a 1/cbrt(p) column slice of a C block) — the paper
+// notes this drawback; the collection phase reassembles it.
+func Berntsen(m *simnet.Machine, A, B *matrix.Dense) (*matrix.Dense, simnet.RunStats, error) {
+	n, err := CheckSquareOperands(A, B)
+	if err != nil {
+		return nil, simnet.RunStats{}, err
+	}
+	g3, err := Grid3DFor(m, n, true)
+	if err != nil {
+		return nil, simnet.RunStats{}, err
+	}
+	q := g3.Q
+	dd := hypercube.Log2(q)
+
+	// Subcube m occupies the addresses with Gray(m) in the top dd bits;
+	// inside, a q x q Cannon mesh over the low 2*dd dimensions.
+	node := func(sub, i, j int) int {
+		return hypercube.Gray(sub)<<(2*dd) | hypercube.Gray(i)<<dd | hypercube.Gray(j)
+	}
+	coords := func(id int) (sub, i, j int) {
+		mask := 1<<dd - 1
+		return hypercube.GrayRank(id >> (2 * dd)),
+			hypercube.GrayRank((id >> dd) & mask),
+			hypercube.GrayRank(id & mask)
+	}
+
+	aIn := make([]*matrix.Dense, m.P())
+	bIn := make([]*matrix.Dense, m.P())
+	for sub := 0; sub < q; sub++ {
+		aSlab := A.ColGroup(q, sub) // n x n/q
+		bSlab := B.RowGroup(q, sub) // n/q x n
+		for i := 0; i < q; i++ {
+			for j := 0; j < q; j++ {
+				id := node(sub, i, j)
+				aIn[id] = aSlab.GridBlock(q, q, i, j) // (n/q) x (n/q^2)
+				bIn[id] = bSlab.GridBlock(q, q, i, j) // (n/q^2) x (n/q)
+			}
+		}
+	}
+
+	out := make([]*matrix.Dense, m.P())
+	stats := m.Run(func(nd *simnet.Node) {
+		sub, i, j := coords(nd.ID)
+		base := hypercube.Gray(sub) << (2 * dd)
+		rowCh := hypercube.NewChain(base|hypercube.Gray(i)<<dd, dims(0, dd))
+		colCh := hypercube.NewChain(base|hypercube.Gray(j), dims(dd, dd))
+
+		// Outer product O_sub = A_.sub x B_sub. via Cannon on the subcube.
+		o := CannonRun(nd, rowCh, colCh, i, j, q, aIn[nd.ID], bIn[nd.ID], 1)
+
+		// All-to-all reduction among the q corresponding processors of
+		// the subcubes: node (sub,i,j) keeps column group sub of the
+		// summed block C_ij.
+		crossCh := hypercube.NewChain(hypercube.Gray(i)<<dd|hypercube.Gray(j), dims(2*dd, dd))
+		cross := collective.On(nd, crossCh)
+		pieces := make([]*matrix.Dense, q)
+		for l := 0; l < q; l++ {
+			pieces[l] = o.ColGroup(q, l)
+		}
+		nd.NoteWords(aIn[nd.ID].Words() + bIn[nd.ID].Words() + o.Words())
+		out[nd.ID] = cross.ReduceScatter(2, pieces)
+	})
+
+	// Collection: C block (i,j) is spread across the subcubes as column
+	// groups.
+	C := matrix.New(n, n)
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			cols := make([]*matrix.Dense, q)
+			for sub := 0; sub < q; sub++ {
+				cols[sub] = out[node(sub, i, j)]
+			}
+			C.SetGridBlock(q, q, i, j, matrix.ConcatCols(cols...))
+		}
+	}
+	return C, stats, nil
+}
+
+// dims returns the physical dimensions lo..lo+n-1.
+func dims(lo, n int) []int {
+	ds := make([]int, n)
+	for s := range ds {
+		ds[s] = lo + s
+	}
+	return ds
+}

@@ -1,0 +1,91 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"hypermm/internal/matrix"
+	"hypermm/internal/simnet"
+)
+
+// CannonTorus is Cannon's algorithm on a native 2-D torus machine
+// (simnet.Torus2D) rather than a torus embedded in a hypercube. Ring
+// neighbors are physical links, so the shift-multiply-add phase costs
+// exactly what it costs on the hypercube — the paper's Section 3.2
+// observation, "the second phase of Cannon's algorithm has the same
+// performance on 2-D tori and hypercubes". The skew phase differs: a
+// rotation by i positions is i wrap-shortest hops on the torus versus
+// at most log sqrt(p) hops on the hypercube.
+//
+// Unlike the hypercube algorithms, the torus does not require a
+// power-of-two side: any q x q machine with q | n works.
+func CannonTorus(m *simnet.Machine, A, B *matrix.Dense) (*matrix.Dense, simnet.RunStats, error) {
+	n, err := CheckSquareOperands(A, B)
+	if err != nil {
+		return nil, simnet.RunStats{}, err
+	}
+	if m.Cfg.Topology != simnet.Torus2D {
+		return nil, simnet.RunStats{}, fmt.Errorf("algorithms: CannonTorus needs a Torus2D machine")
+	}
+	q := intSqrt(m.P())
+	if q*q != m.P() {
+		return nil, simnet.RunStats{}, fmt.Errorf("algorithms: torus machine size %d is not square", m.P())
+	}
+	if n%q != 0 {
+		return nil, simnet.RunStats{}, fmt.Errorf("algorithms: n=%d not divisible by q=%d", n, q)
+	}
+
+	aIn := make([]*matrix.Dense, m.P())
+	bIn := make([]*matrix.Dense, m.P())
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			id := simnet.TorusNode(i, j, q)
+			aIn[id] = A.GridBlock(q, q, i, j)
+			bIn[id] = B.GridBlock(q, q, i, j)
+		}
+	}
+
+	out := make([]*matrix.Dense, m.P())
+	stats := m.Run(func(nd *simnet.Node) {
+		i, j := simnet.TorusCoords(nd.ID, q)
+		a, b := aIn[nd.ID], bIn[nd.ID]
+		tg := func(step, kind int) uint64 { return 1<<20 | uint64(step)<<4 | uint64(kind) }
+
+		// Skew: A_ij -> p_{i,(j-i) mod q}; B_ij -> p_{(i-j) mod q, j}.
+		if q > 1 {
+			nd.SendM(simnet.TorusNode(i, j-i, q), tg(0, 0), a)
+			nd.SendM(simnet.TorusNode(i-j, j, q), tg(0, 1), b)
+			a = nd.RecvM(simnet.TorusNode(i, j+i, q), tg(0, 0))
+			b = nd.RecvM(simnet.TorusNode(i+j, j, q), tg(0, 1))
+		}
+
+		c := matrix.New(a.Rows, b.Cols)
+		nd.NoteWords(a.Words() + b.Words() + c.Words())
+		for t := 0; t < q; t++ {
+			nd.MulAdd(c, a, b)
+			if t == q-1 {
+				break
+			}
+			nd.SendM(simnet.TorusNode(i, j-1, q), tg(t+1, 0), a)
+			nd.SendM(simnet.TorusNode(i-1, j, q), tg(t+1, 1), b)
+			a = nd.RecvM(simnet.TorusNode(i, j+1, q), tg(t+1, 0))
+			b = nd.RecvM(simnet.TorusNode(i+1, j, q), tg(t+1, 1))
+		}
+		out[nd.ID] = c
+	})
+
+	C := matrix.New(n, n)
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			C.SetGridBlock(q, q, i, j, out[simnet.TorusNode(i, j, q)])
+		}
+	}
+	return C, stats, nil
+}
+
+func intSqrt(x int) int {
+	r := 0
+	for (r+1)*(r+1) <= x {
+		r++
+	}
+	return r
+}

@@ -1,0 +1,68 @@
+// Package algorithms implements the previously published distributed
+// matrix-multiplication algorithms the paper compares against (its
+// Section 3): Simple, Cannon, Ho-Johnsson-Edelman, Berntsen, and DNS.
+// Each runs as an SPMD program on a simulated hypercube (internal/simnet)
+// and returns the assembled product together with the run statistics.
+//
+// Every algorithm here — and the paper's own algorithms in
+// internal/core — shares the same contract:
+//
+//	C, stats, err := algorithms.Cannon(m, A, B)
+//
+// where the initial distribution of A and B is materialized for free
+// (the paper assumes the operands already distributed), the algorithm's
+// communication and computation are charged to the simulated clock, and
+// C is collected for free afterwards and verified by the caller.
+package algorithms
+
+import (
+	"fmt"
+
+	"hypermm/internal/hypercube"
+	"hypermm/internal/matrix"
+	"hypermm/internal/simnet"
+)
+
+// CheckSquareOperands validates that A and B are n x n with equal n.
+func CheckSquareOperands(A, B *matrix.Dense) (int, error) {
+	if A.Rows != A.Cols || B.Rows != B.Cols || A.Rows != B.Rows {
+		return 0, fmt.Errorf("algorithms: operands must be equal square matrices, got %dx%d and %dx%d",
+			A.Rows, A.Cols, B.Rows, B.Cols)
+	}
+	return A.Rows, nil
+}
+
+// Grid2DFor returns the 2-D embedding for machine m, checking that p is
+// an even power of two and that q divides n.
+func Grid2DFor(m *simnet.Machine, n int) (hypercube.Grid2D, error) {
+	p := m.P()
+	d := hypercube.Log2(p)
+	if d%2 != 0 {
+		return hypercube.Grid2D{}, fmt.Errorf("algorithms: p=%d is not a perfect square power of two", p)
+	}
+	g := hypercube.NewGrid2D(p)
+	if n%g.Q != 0 {
+		return hypercube.Grid2D{}, fmt.Errorf("algorithms: n=%d not divisible by sqrt(p)=%d", n, g.Q)
+	}
+	return g, nil
+}
+
+// Grid3DFor returns the 3-D embedding for machine m, checking that p is
+// a power of eight and that q^2 divides n (the finest partition any of
+// the 3-D algorithms uses).
+func Grid3DFor(m *simnet.Machine, n int, needQ2 bool) (hypercube.Grid3D, error) {
+	p := m.P()
+	d := hypercube.Log2(p)
+	if d%3 != 0 {
+		return hypercube.Grid3D{}, fmt.Errorf("algorithms: p=%d is not a perfect cube power of two", p)
+	}
+	g := hypercube.NewGrid3D(p)
+	div := g.Q
+	if needQ2 {
+		div = g.Q * g.Q
+	}
+	if n%div != 0 {
+		return hypercube.Grid3D{}, fmt.Errorf("algorithms: n=%d not divisible by %d (cbrt(p)=%d)", n, div, g.Q)
+	}
+	return g, nil
+}

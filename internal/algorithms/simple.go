@@ -1,0 +1,77 @@
+package algorithms
+
+import (
+	"hypermm/internal/collective"
+	"hypermm/internal/matrix"
+	"hypermm/internal/simnet"
+)
+
+// Simple is the paper's Algorithm Simple (Section 3.1): on a
+// sqrt(p) x sqrt(p) virtual mesh with A and B block-partitioned, every
+// mesh row all-to-all broadcasts its A blocks and every mesh column its
+// B blocks, after which each processor owns a full block row of A and
+// block column of B and multiplies locally.
+//
+// Communication: two all-to-all broadcasts of n^2/p-word blocks among
+// sqrt(p) processors. On a multi-port hypercube the two phases overlap
+// (they use disjoint grid dimensions); on a one-port machine they
+// serialize — both cases fall out of running the phases fused.
+// The price is space: each node ends up holding 2 n^2/sqrt(p) words.
+func Simple(m *simnet.Machine, A, B *matrix.Dense) (*matrix.Dense, simnet.RunStats, error) {
+	n, err := CheckSquareOperands(A, B)
+	if err != nil {
+		return nil, simnet.RunStats{}, err
+	}
+	g, err := Grid2DFor(m, n)
+	if err != nil {
+		return nil, simnet.RunStats{}, err
+	}
+	q := g.Q
+
+	// Initial distribution (free): p_{i,j} holds A_ij and B_ij.
+	aIn := make([]*matrix.Dense, m.P())
+	bIn := make([]*matrix.Dense, m.P())
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			id := g.Node(i, j)
+			aIn[id] = A.GridBlock(q, q, i, j)
+			bIn[id] = B.GridBlock(q, q, i, j)
+		}
+	}
+
+	out := make([]*matrix.Dense, m.P())
+	stats := m.Run(func(nd *simnet.Node) {
+		i, j := g.Coords(nd.ID)
+		rowC := collective.On(nd, g.RowChain(i))
+		colC := collective.On(nd, g.ColChain(j))
+
+		// Phase 1+2 fused: row-wise all-gather of A, column-wise
+		// all-gather of B.
+		agA := rowC.NewAllGather(1, aIn[nd.ID])
+		agB := colC.NewAllGather(2, bIn[nd.ID])
+		collective.Run(agA, agB)
+		arow, bcol := agA.Result(), agB.Result()
+
+		blk := n / q
+		held := 0
+		for k := 0; k < q; k++ {
+			held += arow[k].Words() + bcol[k].Words()
+		}
+		nd.NoteWords(held + blk*blk)
+
+		// Local compute: C_ij = sum_k A_ik * B_kj.
+		c := matrix.New(blk, blk)
+		for k := 0; k < q; k++ {
+			nd.MulAdd(c, arow[k], bcol[k])
+		}
+		out[nd.ID] = c
+	})
+
+	C := matrix.New(n, n)
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			C.SetGridBlock(q, q, i, j, out[g.Node(i, j)])
+		}
+	}
+	return C, stats, nil
+}

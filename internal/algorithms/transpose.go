@@ -1,0 +1,48 @@
+package algorithms
+
+import (
+	"hypermm/internal/matrix"
+	"hypermm/internal/simnet"
+)
+
+// Transpose2D transposes a matrix distributed block-wise over the
+// sqrt(p) x sqrt(p) mesh (the paper's Figure 1 layout): node p_{i,j}
+// sends its transposed block to p_{j,i}. This is the "first form the
+// transpose of matrix B" preprocessing step the paper mentions in
+// Section 4.1.1 as the obvious fix for mismatched initial
+// distributions, priced here: one point-to-point transfer of n^2/p
+// words per node over at most log p hops (the mirror node differs in
+// up to all address bits).
+func Transpose2D(m *simnet.Machine, X *matrix.Dense) (*matrix.Dense, simnet.RunStats, error) {
+	n, err := CheckSquareOperands(X, X)
+	if err != nil {
+		return nil, simnet.RunStats{}, err
+	}
+	g, err := Grid2DFor(m, n)
+	if err != nil {
+		return nil, simnet.RunStats{}, err
+	}
+	q := g.Q
+
+	in := make([]*matrix.Dense, m.P())
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			in[g.Node(i, j)] = X.GridBlock(q, q, i, j)
+		}
+	}
+
+	out := make([]*matrix.Dense, m.P())
+	stats := m.Run(func(nd *simnet.Node) {
+		i, j := g.Coords(nd.ID)
+		nd.SendM(g.Node(j, i), 1, in[nd.ID].Transpose())
+		out[nd.ID] = nd.RecvM(g.Node(j, i), 1)
+	})
+
+	T := matrix.New(n, n)
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			T.SetGridBlock(q, q, i, j, out[g.Node(i, j)])
+		}
+	}
+	return T, stats, nil
+}

@@ -1,0 +1,175 @@
+// Package collective implements the hypercube collective communication
+// operations of the paper's Table 1 on subcube chains: one-to-all
+// broadcast, one-to-all personalized broadcast (scatter) and its inverse
+// (gather), all-to-all broadcast (all-gather), all-to-one reduction,
+// all-to-all reduction (reduce-scatter), and all-to-all personalized
+// communication.
+//
+// Every operation has two executions selected by the machine's port
+// model:
+//
+//   - One-port: the classical spanning-binomial-tree / recursive
+//     doubling algorithms, matching Table 1's one-port column.
+//   - Multi-port: the message is split into d = log q slices and slice
+//     l runs the same schedule over the chain's dimension order rotated
+//     by l, so at every step all d ports carry a distinct slice. This
+//     reproduces the t_w terms of Table 1's multi-port column (the
+//     "log N trees concurrently" technique of Ho and Johnsson) whenever
+//     the message has at least log q words.
+//
+// Operations are built as step machines (Op) so that two collectives on
+// disjoint grid dimensions can be fused with Run(op1, op2): their steps
+// interleave and, on a multi-port machine, overlap — the paper's "the
+// two broadcasts can occur in parallel".
+//
+// Blocks are indexed by grid *position* (Gray-embedded); internally all
+// schedules run in subcube rank space.
+package collective
+
+import (
+	"fmt"
+
+	"hypermm/internal/hypercube"
+	"hypermm/internal/matrix"
+	"hypermm/internal/simnet"
+)
+
+// Comm is one node's view of a chain: the node, the chain, and the
+// node's rank/position on it.
+type Comm struct {
+	N  *simnet.Node
+	Ch hypercube.Chain
+
+	rank, pos int
+	d, q      int
+	g         int // slice count: 1 for one-port, max(d,1) for multi-port
+}
+
+// On binds a node to a chain it lies on.
+func On(n *simnet.Node, ch hypercube.Chain) Comm {
+	rank := ch.RankOf(n.ID)
+	c := Comm{
+		N: n, Ch: ch,
+		rank: rank, pos: hypercube.GrayRank(rank),
+		d: ch.Dim(), q: ch.Q(),
+	}
+	c.g = 1
+	if n.Ports() == simnet.MultiPort && c.d > 1 {
+		c.g = c.d
+	}
+	return c
+}
+
+// Pos returns the node's grid position on the chain.
+func (c Comm) Pos() int { return c.pos }
+
+// Rank returns the node's subcube rank on the chain.
+func (c Comm) Rank() int { return c.rank }
+
+// Q returns the chain length.
+func (c Comm) Q() int { return c.q }
+
+// bit returns the chain-local bit index used by slice l at step s:
+// the rotated dimension order that lets all slices use distinct
+// physical ports at every step.
+func (c Comm) bit(l, s int) int { return (l + s) % c.d }
+
+// partner returns the physical node across chain bit b.
+func (c Comm) partner(b int) int {
+	return c.Ch.NodeAtRank(c.rank ^ (1 << b))
+}
+
+// tag composes a message tag from the caller's phase id plus the
+// collective-internal step and slice numbers. Algorithms must use
+// distinct phase ids for collectives that could be in flight between
+// the same pair of nodes at the same time.
+func tag(phase uint64, step, slice int) uint64 {
+	return phase<<16 | uint64(step)<<8 | uint64(slice)
+}
+
+// sliceBounds returns the [lo, hi) word range of slice l when a block
+// of w words is cut into g nearly equal slices.
+func sliceBounds(w, g, l int) (lo, hi int) {
+	return l * w / g, (l + 1) * w / g
+}
+
+// subsets returns, in ascending order, every rank of the form
+// base XOR (subset of the given chain bits).
+func subsets(base int, bits []int) []int {
+	out := make([]int, 0, 1<<len(bits))
+	out = append(out, base)
+	for _, b := range bits {
+		for _, r := range out[:len(out):len(out)] {
+			out = append(out, r^(1<<b))
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(a []int) {
+	// insertion sort: these slices are short (<= chain length).
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// Op is a collective compiled to a lockstep step machine. At each step
+// an Op first issues all its sends, then completes all its receives
+// (plus any local combining). Run drives one or more Ops together.
+type Op interface {
+	Steps() int
+	SendStep(s int)
+	RecvStep(s int)
+}
+
+// Run drives one or more collective step machines in lockstep. Fusing
+// two collectives that live on disjoint grid dimensions makes their
+// transfers overlap on a multi-port machine; on a one-port machine they
+// serialize through the node's ports exactly as the paper charges.
+func Run(ops ...Op) {
+	steps := 0
+	for _, op := range ops {
+		if s := op.Steps(); s > steps {
+			steps = s
+		}
+	}
+	for s := 0; s < steps; s++ {
+		for _, op := range ops {
+			if s < op.Steps() {
+				op.SendStep(s)
+			}
+		}
+		for _, op := range ops {
+			if s < op.Steps() {
+				op.RecvStep(s)
+			}
+		}
+	}
+}
+
+// checkUniform validates that all non-nil blocks share one shape and
+// returns it.
+func checkUniform(op string, blocks []*matrix.Dense) (rows, cols int) {
+	rows, cols = -1, -1
+	for _, b := range blocks {
+		if b == nil {
+			continue
+		}
+		if rows == -1 {
+			rows, cols = b.Rows, b.Cols
+		} else if b.Rows != rows || b.Cols != cols {
+			panic(fmt.Sprintf("collective: %s blocks not uniform: %dx%d vs %dx%d", op, b.Rows, b.Cols, rows, cols))
+		}
+	}
+	if rows == -1 {
+		panic(fmt.Sprintf("collective: %s received no blocks", op))
+	}
+	return rows, cols
+}

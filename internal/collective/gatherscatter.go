@@ -1,0 +1,293 @@
+package collective
+
+import (
+	"fmt"
+
+	"hypermm/internal/hypercube"
+	"hypermm/internal/matrix"
+)
+
+// ScatterOp is a one-to-all personalized broadcast: the root holds one
+// block per chain position and each node ends with its own block.
+//
+// One-port: binomial halving, t_s log q + t_w (q-1)M (Table 1).
+// Multi-port: d rotated slices, t_s log q + t_w (q-1)M / log q.
+type ScatterOp struct {
+	c          Comm
+	phase      uint64
+	rel        int
+	rows, cols int
+	w          int
+	held       []map[int][]float64 // per slice: relative dest rank -> slice words
+	recvStep   []int
+}
+
+// NewScatter prepares a scatter. Every participant passes the piece
+// shape; only the root passes blocks (indexed by position, length q).
+func (c Comm) NewScatter(phase uint64, rootPos, rows, cols int, blocks []*matrix.Dense) *ScatterOp {
+	rootRank := hypercube.Gray(rootPos)
+	op := &ScatterOp{
+		c: c, phase: phase, rel: c.rank ^ rootRank,
+		rows: rows, cols: cols, w: rows * cols,
+	}
+	op.held = make([]map[int][]float64, c.g)
+	for l := range op.held {
+		op.held[l] = make(map[int][]float64)
+	}
+	if op.rel == 0 {
+		if len(blocks) != c.q {
+			panic(fmt.Sprintf("collective: Scatter root has %d blocks want %d", len(blocks), c.q))
+		}
+		for pos, b := range blocks {
+			if b.Rows != rows || b.Cols != cols {
+				panic(fmt.Sprintf("collective: Scatter block %d is %dx%d want %dx%d", pos, b.Rows, b.Cols, rows, cols))
+			}
+			xrel := hypercube.Gray(pos) ^ rootRank
+			for l := 0; l < c.g; l++ {
+				lo, hi := sliceBounds(op.w, c.g, l)
+				op.held[l][xrel] = b.Data[lo:hi]
+			}
+		}
+	}
+	op.recvStep = make([]int, c.g)
+	for l := range op.recvStep {
+		op.recvStep[l] = relStepMax(op.rel, l, c.d)
+	}
+	return op
+}
+
+// relStepMax returns the largest rotated-order position among the set
+// bits of rel (-1 if rel == 0): the step at which a binomial broadcast
+// or scatter first reaches this node for slice l.
+func relStepMax(rel, l, d int) int {
+	step := -1
+	for b := 0; b < d; b++ {
+		if rel&(1<<b) != 0 {
+			if s := (b - l + d) % d; s > step {
+				step = s
+			}
+		}
+	}
+	return step
+}
+
+// relStepMin returns the smallest rotated-order position among the set
+// bits of rel (d if rel == 0): the step at which a binomial gather or
+// reduction sends from this node for slice l.
+func relStepMin(rel, l, d int) int {
+	step := d
+	for b := 0; b < d; b++ {
+		if rel&(1<<b) != 0 {
+			if s := (b - l + d) % d; s < step {
+				step = s
+			}
+		}
+	}
+	return step
+}
+
+// futureBits returns the chain bits slice l uses at steps s+1 .. d-1.
+func (c Comm) futureBits(l, s int) []int {
+	bits := make([]int, 0, c.d-s-1)
+	for t := s + 1; t < c.d; t++ {
+		bits = append(bits, c.bit(l, t))
+	}
+	return bits
+}
+
+// pastBits returns the chain bits slice l used at steps 0 .. s-1.
+func (c Comm) pastBits(l, s int) []int {
+	bits := make([]int, 0, s)
+	for t := 0; t < s; t++ {
+		bits = append(bits, c.bit(l, t))
+	}
+	return bits
+}
+
+// Steps implements Op.
+func (op *ScatterOp) Steps() int { return op.c.d }
+
+// SendStep implements Op.
+func (op *ScatterOp) SendStep(s int) {
+	for l := 0; l < op.c.g; l++ {
+		lo, hi := sliceBounds(op.w, op.c.g, l)
+		if lo == hi || op.recvStep[l] >= s {
+			continue
+		}
+		b := op.c.bit(l, s)
+		keys := make([]int, 0, len(op.held[l]))
+		for x := range op.held[l] {
+			if x&(1<<b) != 0 {
+				keys = append(keys, x)
+			}
+		}
+		sortInts(keys)
+		buf := make([]float64, 0, len(keys)*(hi-lo))
+		for _, x := range keys {
+			buf = append(buf, op.held[l][x]...)
+			delete(op.held[l], x)
+		}
+		op.c.N.Send(op.c.partner(b), tag(op.phase, s, l), buf)
+	}
+}
+
+// RecvStep implements Op.
+func (op *ScatterOp) RecvStep(s int) {
+	for l := 0; l < op.c.g; l++ {
+		lo, hi := sliceBounds(op.w, op.c.g, l)
+		if lo == hi || op.recvStep[l] != s {
+			continue
+		}
+		b := op.c.bit(l, s)
+		msg := op.c.N.Recv(op.c.partner(b), tag(op.phase, s, l))
+		incoming := subsets(op.rel, op.c.futureBits(l, s))
+		sz := hi - lo
+		if len(msg.Data) != len(incoming)*sz {
+			panic(fmt.Sprintf("collective: Scatter slice %d got %d words want %d", l, len(msg.Data), len(incoming)*sz))
+		}
+		for i, x := range incoming {
+			op.held[l][x] = msg.Data[i*sz : (i+1)*sz]
+		}
+	}
+}
+
+// Result returns the node's own piece (valid after Run).
+func (op *ScatterOp) Result() *matrix.Dense {
+	out := matrix.New(op.rows, op.cols)
+	for l := 0; l < op.c.g; l++ {
+		lo, hi := sliceBounds(op.w, op.c.g, l)
+		if lo == hi {
+			continue
+		}
+		piece, ok := op.held[l][op.rel]
+		if !ok {
+			panic(fmt.Sprintf("collective: Scatter missing own slice %d", l))
+		}
+		copy(out.Data[lo:hi], piece)
+	}
+	return out
+}
+
+// Scatter runs a one-to-all personalized broadcast; blocks (root only)
+// are indexed by chain position. Every node returns its own block.
+func (c Comm) Scatter(phase uint64, rootPos, rows, cols int, blocks []*matrix.Dense) *matrix.Dense {
+	if c.d == 0 {
+		return blocks[0]
+	}
+	op := c.NewScatter(phase, rootPos, rows, cols, blocks)
+	Run(op)
+	return op.Result()
+}
+
+// GatherOp is the inverse of scatter: every node contributes one block
+// and the root ends with all q blocks. Cost mirrors ScatterOp.
+type GatherOp struct {
+	c          Comm
+	phase      uint64
+	rel        int
+	rootRank   int
+	rows, cols int
+	w          int
+	held       []map[int][]float64 // per slice: relative origin rank -> slice words
+	sendStep   []int
+}
+
+// NewGather prepares a gather of blk toward rootPos.
+func (c Comm) NewGather(phase uint64, rootPos int, blk *matrix.Dense) *GatherOp {
+	rootRank := hypercube.Gray(rootPos)
+	op := &GatherOp{
+		c: c, phase: phase, rel: c.rank ^ rootRank, rootRank: rootRank,
+		rows: blk.Rows, cols: blk.Cols, w: blk.Rows * blk.Cols,
+	}
+	op.held = make([]map[int][]float64, c.g)
+	op.sendStep = make([]int, c.g)
+	for l := range op.held {
+		lo, hi := sliceBounds(op.w, c.g, l)
+		op.held[l] = map[int][]float64{op.rel: blk.Data[lo:hi]}
+		op.sendStep[l] = relStepMin(op.rel, l, c.d)
+	}
+	return op
+}
+
+// Steps implements Op.
+func (op *GatherOp) Steps() int { return op.c.d }
+
+// SendStep implements Op.
+func (op *GatherOp) SendStep(s int) {
+	for l := 0; l < op.c.g; l++ {
+		lo, hi := sliceBounds(op.w, op.c.g, l)
+		if lo == hi || op.sendStep[l] != s {
+			continue
+		}
+		b := op.c.bit(l, s)
+		keys := make([]int, 0, len(op.held[l]))
+		for x := range op.held[l] {
+			keys = append(keys, x)
+		}
+		sortInts(keys)
+		buf := make([]float64, 0, len(keys)*(hi-lo))
+		for _, x := range keys {
+			buf = append(buf, op.held[l][x]...)
+		}
+		op.held[l] = nil
+		op.c.N.Send(op.c.partner(b), tag(op.phase, s, l), buf)
+	}
+}
+
+// RecvStep implements Op.
+func (op *GatherOp) RecvStep(s int) {
+	for l := 0; l < op.c.g; l++ {
+		lo, hi := sliceBounds(op.w, op.c.g, l)
+		if lo == hi || op.sendStep[l] <= s {
+			continue
+		}
+		b := op.c.bit(l, s)
+		prel := op.rel ^ (1 << b)
+		msg := op.c.N.Recv(op.c.partner(b), tag(op.phase, s, l))
+		incoming := subsets(prel, op.c.pastBits(l, s))
+		sz := hi - lo
+		if len(msg.Data) != len(incoming)*sz {
+			panic(fmt.Sprintf("collective: Gather slice %d got %d words want %d", l, len(msg.Data), len(incoming)*sz))
+		}
+		for i, x := range incoming {
+			op.held[l][x] = msg.Data[i*sz : (i+1)*sz]
+		}
+	}
+}
+
+// Result returns the gathered blocks indexed by position on the root,
+// nil elsewhere (valid after Run).
+func (op *GatherOp) Result() []*matrix.Dense {
+	if op.rel != 0 {
+		return nil
+	}
+	out := make([]*matrix.Dense, op.c.q)
+	for pos := range out {
+		xrel := hypercube.Gray(pos) ^ op.rootRank
+		blk := matrix.New(op.rows, op.cols)
+		for l := 0; l < op.c.g; l++ {
+			lo, hi := sliceBounds(op.w, op.c.g, l)
+			if lo == hi {
+				continue
+			}
+			piece, ok := op.held[l][xrel]
+			if !ok {
+				panic(fmt.Sprintf("collective: Gather missing piece pos=%d slice=%d", pos, l))
+			}
+			copy(blk.Data[lo:hi], piece)
+		}
+		out[pos] = blk
+	}
+	return out
+}
+
+// Gather collects every node's block at rootPos; the root returns the
+// blocks indexed by position, all other nodes return nil.
+func (c Comm) Gather(phase uint64, rootPos int, blk *matrix.Dense) []*matrix.Dense {
+	if c.d == 0 {
+		return []*matrix.Dense{blk}
+	}
+	op := c.NewGather(phase, rootPos, blk)
+	Run(op)
+	return op.Result()
+}

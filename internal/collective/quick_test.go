@@ -1,0 +1,282 @@
+package collective
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hypermm/internal/hypercube"
+	"hypermm/internal/matrix"
+	"hypermm/internal/simnet"
+)
+
+// Property-based checks: for random chain sizes, message shapes, roots
+// and port models, every collective must deliver exactly the data a
+// naive reference computes.
+
+type shape struct {
+	q          int // chain length
+	rows, cols int // block shape
+	root       int
+	pm         simnet.PortModel
+}
+
+func shapeFrom(qb, rb, cb, rootb, pmb uint8) shape {
+	q := 1 << (int(qb) % 5) // 1..16
+	rows := 1 + int(rb)%5
+	cols := 1 + int(cb)%7
+	return shape{
+		q: q, rows: rows, cols: cols,
+		root: int(rootb) % q,
+		pm:   simnet.PortModel(int(pmb) % 2),
+	}
+}
+
+// refBlock builds deterministic content for (origin, salt).
+func refBlock(rows, cols, origin, salt int) *matrix.Dense {
+	b := matrix.New(rows, cols)
+	for i := range b.Data {
+		b.Data[i] = float64(origin*7919 + salt*104729 + i)
+	}
+	return b
+}
+
+func runOnChain(s shape, prog func(c Comm, fail func(string))) (failMsg string) {
+	m := simnet.NewMachine(simnet.Config{P: s.q, Ports: s.pm, Ts: 1, Tw: 1})
+	ch := chainOf(s.q)
+	var msg string
+	m.Run(func(n *simnet.Node) {
+		prog(On(n, ch), func(s string) { msg = s })
+	})
+	return msg
+}
+
+func TestQuickBcast(t *testing.T) {
+	f := func(qb, rb, cb, rootb, pmb uint8) bool {
+		s := shapeFrom(qb, rb, cb, rootb, pmb)
+		want := refBlock(s.rows, s.cols, s.root, 1)
+		fail := runOnChain(s, func(c Comm, fail func(string)) {
+			var blk *matrix.Dense
+			if c.Pos() == s.root {
+				blk = want
+			}
+			if got := c.Bcast(1, s.root, s.rows, s.cols, blk); !matrix.Equal(got, want) {
+				fail("content")
+			}
+		})
+		return fail == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickScatter(t *testing.T) {
+	f := func(qb, rb, cb, rootb, pmb uint8) bool {
+		s := shapeFrom(qb, rb, cb, rootb, pmb)
+		fail := runOnChain(s, func(c Comm, fail func(string)) {
+			var blocks []*matrix.Dense
+			if c.Pos() == s.root {
+				blocks = make([]*matrix.Dense, s.q)
+				for j := range blocks {
+					blocks[j] = refBlock(s.rows, s.cols, j, 2)
+				}
+			}
+			got := c.Scatter(1, s.root, s.rows, s.cols, blocks)
+			if !matrix.Equal(got, refBlock(s.rows, s.cols, c.Pos(), 2)) {
+				fail("content")
+			}
+		})
+		return fail == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGather(t *testing.T) {
+	f := func(qb, rb, cb, rootb, pmb uint8) bool {
+		s := shapeFrom(qb, rb, cb, rootb, pmb)
+		fail := runOnChain(s, func(c Comm, fail func(string)) {
+			got := c.Gather(1, s.root, refBlock(s.rows, s.cols, c.Pos(), 3))
+			if c.Pos() == s.root {
+				for j := range got {
+					if !matrix.Equal(got[j], refBlock(s.rows, s.cols, j, 3)) {
+						fail("content")
+					}
+				}
+			} else if got != nil {
+				fail("non-root result")
+			}
+		})
+		return fail == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAllGather(t *testing.T) {
+	f := func(qb, rb, cb, rootb, pmb uint8) bool {
+		s := shapeFrom(qb, rb, cb, rootb, pmb)
+		fail := runOnChain(s, func(c Comm, fail func(string)) {
+			got := c.AllGather(1, refBlock(s.rows, s.cols, c.Pos(), 4))
+			for j := range got {
+				if !matrix.Equal(got[j], refBlock(s.rows, s.cols, j, 4)) {
+					fail("content")
+				}
+			}
+		})
+		return fail == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickReduce(t *testing.T) {
+	f := func(qb, rb, cb, rootb, pmb uint8) bool {
+		s := shapeFrom(qb, rb, cb, rootb, pmb)
+		want := matrix.New(s.rows, s.cols)
+		for j := 0; j < s.q; j++ {
+			want.AddInto(refBlock(s.rows, s.cols, j, 5))
+		}
+		fail := runOnChain(s, func(c Comm, fail func(string)) {
+			got := c.Reduce(1, s.root, refBlock(s.rows, s.cols, c.Pos(), 5))
+			if c.Pos() == s.root {
+				if matrix.MaxAbsDiff(got, want) > 1e-6 {
+					fail("sum")
+				}
+			} else if got != nil {
+				fail("non-root result")
+			}
+		})
+		return fail == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickReduceScatter(t *testing.T) {
+	f := func(qb, rb, cb, rootb, pmb uint8) bool {
+		s := shapeFrom(qb, rb, cb, rootb, pmb)
+		fail := runOnChain(s, func(c Comm, fail func(string)) {
+			blocks := make([]*matrix.Dense, s.q)
+			for j := range blocks {
+				blocks[j] = refBlock(s.rows, s.cols, 100*c.Pos()+j, 6)
+			}
+			got := c.ReduceScatter(1, blocks)
+			want := matrix.New(s.rows, s.cols)
+			for o := 0; o < s.q; o++ {
+				want.AddInto(refBlock(s.rows, s.cols, 100*o+c.Pos(), 6))
+			}
+			if matrix.MaxAbsDiff(got, want) > 1e-6 {
+				fail("sum")
+			}
+		})
+		return fail == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAllToAll(t *testing.T) {
+	f := func(qb, rb, cb, rootb, pmb uint8) bool {
+		s := shapeFrom(qb, rb, cb, rootb, pmb)
+		fail := runOnChain(s, func(c Comm, fail func(string)) {
+			blocks := make([]*matrix.Dense, s.q)
+			for j := range blocks {
+				blocks[j] = refBlock(s.rows, s.cols, 100*c.Pos()+j, 7)
+			}
+			got := c.AllToAll(1, blocks)
+			for o := range got {
+				if !matrix.Equal(got[o], refBlock(s.rows, s.cols, 100*o+c.Pos(), 7)) {
+					fail("content")
+				}
+			}
+		})
+		return fail == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickScatterGatherInverse: gather(scatter(x)) == x for random
+// shapes — the paper's "inverse" relationship between the personalized
+// collectives.
+func TestQuickScatterGatherInverse(t *testing.T) {
+	f := func(qb, rb, cb, rootb, pmb uint8) bool {
+		s := shapeFrom(qb, rb, cb, rootb, pmb)
+		fail := runOnChain(s, func(c Comm, fail func(string)) {
+			var blocks []*matrix.Dense
+			if c.Pos() == s.root {
+				blocks = make([]*matrix.Dense, s.q)
+				for j := range blocks {
+					blocks[j] = refBlock(s.rows, s.cols, j, 8)
+				}
+			}
+			mine := c.Scatter(1, s.root, s.rows, s.cols, blocks)
+			back := c.Gather(2, s.root, mine)
+			if c.Pos() == s.root {
+				for j := range back {
+					if !matrix.Equal(back[j], refBlock(s.rows, s.cols, j, 8)) {
+						fail("roundtrip")
+					}
+				}
+			}
+		})
+		return fail == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTimingDeterminism: simulated cost of a random collective is
+// identical across repeated runs.
+func TestQuickTimingDeterminism(t *testing.T) {
+	f := func(qb, rb, cb, rootb, pmb uint8) bool {
+		s := shapeFrom(qb, rb, cb, rootb, pmb)
+		run := func() float64 {
+			m := simnet.NewMachine(simnet.Config{P: s.q, Ports: s.pm, Ts: 3, Tw: 2})
+			ch := chainOf(s.q)
+			rs := m.Run(func(n *simnet.Node) {
+				c := On(n, ch)
+				c.AllGather(1, refBlock(s.rows, s.cols, c.Pos(), 9))
+			})
+			return rs.Elapsed
+		}
+		first := run()
+		for i := 0; i < 2; i++ {
+			if run() != first {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMixedChainDims exercises chains over non-contiguous physical
+// dimensions (as Berntsen's cross-subcube reduction uses).
+func TestMixedChainDims(t *testing.T) {
+	const p = 64
+	m := simnet.NewMachine(simnet.Config{P: p, Ports: simnet.OnePort, Ts: 1, Tw: 1})
+	ch := hypercube.NewChain(0b010100, []int{0, 3, 5}) // scattered dims
+	m.Run(func(n *simnet.Node) {
+		if !ch.Contains(n.ID) {
+			return
+		}
+		c := On(n, ch)
+		got := c.AllGather(1, refBlock(2, 2, c.Pos(), 10))
+		for j := range got {
+			if !matrix.Equal(got[j], refBlock(2, 2, j, 10)) {
+				t.Errorf("pos %d: block %d wrong", c.Pos(), j)
+			}
+		}
+	})
+}

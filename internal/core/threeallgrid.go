@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+
+	"hypermm/internal/algorithms"
+	"hypermm/internal/collective"
+	"hypermm/internal/hypercube"
+	"hypermm/internal/matrix"
+	"hypermm/internal/simnet"
+)
+
+// This file implements the generalization of the 3-D All algorithm that
+// the paper sketches at the end of Section 4.2.2: mapping a
+// non-uniform 3-D grid onto the hypercube to push the processor limit
+// beyond p = n^(3/2), at the price of more replication space.
+//
+// The correctness proof of Algorithm 5 requires the A column groups
+// gathered along x to pair exactly with the B row slabs gathered along
+// z, which pins the x and z extents to a common Q; the y extent (the
+// number of outer-product planes) is free. We therefore use a
+// Q x qy x Q grid with p = Q^2 * qy:
+//
+//   - qy = Q reproduces the paper's cube (p <= n^(3/2));
+//   - shrinking qy grows Q and admits up to p = n^2/2 processors
+//     (Q*qy <= n with qy = 2), which is the paper's "can allow us to
+//     use upto n^2 processors" remark, reached with the quoted
+//     O(n^2 sqrt(p)) space blow-up.
+//
+// Operands are partitioned into Q row groups x (Q*qy) column groups;
+// processor p_{i,j,k} holds A_{k,f(i,j)} and B_{k,f(i,j)} with
+// f(i,j) = i*qy + j, exactly as in Figure 8 with the axes reinterpreted.
+
+// rectGrid embeds a Q x qy x Q virtual grid: Gray(i) in the top bits
+// (x), Gray(j) in the middle (y), Gray(k) in the low bits (z).
+type rectGrid struct {
+	Q, Qy  int
+	dq, dy int // log2 Q, log2 Qy
+}
+
+func newRectGrid(p, qy int) (rectGrid, error) {
+	if !hypercube.IsPow2(p) || !hypercube.IsPow2(qy) {
+		return rectGrid{}, fmt.Errorf("core: p=%d and qy=%d must be powers of two", p, qy)
+	}
+	if p%qy != 0 {
+		return rectGrid{}, fmt.Errorf("core: qy=%d does not divide p=%d", qy, p)
+	}
+	q2 := p / qy
+	dq2 := hypercube.Log2(q2)
+	if dq2%2 != 0 {
+		return rectGrid{}, fmt.Errorf("core: p/qy=%d is not a square power of two", q2)
+	}
+	g := rectGrid{Q: 1 << (dq2 / 2), Qy: qy, dq: dq2 / 2, dy: hypercube.Log2(qy)}
+	return g, nil
+}
+
+func (g rectGrid) node(i, j, k int) int {
+	return hypercube.Gray(i)<<(g.dq+g.dy) | hypercube.Gray(j)<<g.dq | hypercube.Gray(k)
+}
+
+func (g rectGrid) coords(id int) (i, j, k int) {
+	return hypercube.GrayRank(id >> (g.dq + g.dy)),
+		hypercube.GrayRank((id >> g.dq) & (1<<g.dy - 1)),
+		hypercube.GrayRank(id & (1<<g.dq - 1))
+}
+
+func (g rectGrid) xChain(j, k int) hypercube.Chain {
+	return hypercube.NewChain(hypercube.Gray(j)<<g.dq|hypercube.Gray(k), dimRange(g.dq+g.dy, g.dq))
+}
+
+func (g rectGrid) yChain(i, k int) hypercube.Chain {
+	return hypercube.NewChain(hypercube.Gray(i)<<(g.dq+g.dy)|hypercube.Gray(k), dimRange(g.dq, g.dy))
+}
+
+func (g rectGrid) zChain(i, j int) hypercube.Chain {
+	return hypercube.NewChain(hypercube.Gray(i)<<(g.dq+g.dy)|hypercube.Gray(j)<<g.dq, dimRange(0, g.dq))
+}
+
+func dimRange(lo, n int) []int {
+	ds := make([]int, n)
+	for s := range ds {
+		ds[s] = lo + s
+	}
+	return ds
+}
+
+// ThreeAllGrid runs the 3-D All algorithm on a Q x qy x Q virtual grid
+// with p = Q^2*qy. qy = cbrt(p) reproduces ThreeAll; smaller qy trades
+// space for applicability up to p ~ n^2/2.
+func ThreeAllGrid(m *simnet.Machine, A, B *matrix.Dense, qy int) (*matrix.Dense, simnet.RunStats, error) {
+	n, err := algorithms.CheckSquareOperands(A, B)
+	if err != nil {
+		return nil, simnet.RunStats{}, err
+	}
+	g, err := newRectGrid(m.P(), qy)
+	if err != nil {
+		return nil, simnet.RunStats{}, err
+	}
+	Q, qyy := g.Q, g.Qy
+	cols := Q * qyy // number of column groups
+	if n%cols != 0 {
+		return nil, simnet.RunStats{}, fmt.Errorf("core: n=%d not divisible by Q*qy=%d", n, cols)
+	}
+	aIn := make([]*matrix.Dense, m.P())
+	bIn := make([]*matrix.Dense, m.P())
+	for i := 0; i < Q; i++ {
+		for j := 0; j < qyy; j++ {
+			for k := 0; k < Q; k++ {
+				id := g.node(i, j, k)
+				f := matrix.F(qyy, i, j)
+				aIn[id] = A.GridBlock(Q, cols, k, f)
+				bIn[id] = B.GridBlock(Q, cols, k, f)
+			}
+		}
+	}
+
+	out := make([]*matrix.Dense, m.P())
+	stats := m.Run(func(nd *simnet.Node) {
+		out[nd.ID] = threeAllGridRound(nd, g, aIn[nd.ID], bIn[nd.ID], 0)
+	})
+
+	C := matrix.New(n, n)
+	for i := 0; i < Q; i++ {
+		for j := 0; j < qyy; j++ {
+			for k := 0; k < Q; k++ {
+				C.SetGridBlock(Q, cols, k, matrix.F(qyy, i, j), out[g.node(i, j, k)])
+			}
+		}
+	}
+	return C, stats, nil
+}
+
+// threeAllGridRound executes one 3-D All multiplication on a Q x qy x Q
+// grid from the view of one node holding aBlk = A_{k,f(i,j)} and
+// bBlk = B_{k,f(i,j)}; it returns C_{k,f(i,j)}, distributed exactly
+// like the operands, which lets rounds chain with no redistribution.
+// tagBase must differ across successive rounds.
+func threeAllGridRound(nd *simnet.Node, g rectGrid, aBlk, bBlk *matrix.Dense, tagBase uint64) *matrix.Dense {
+	Q, qy := g.Q, g.Qy
+	big, small := aBlk.Rows, aBlk.Cols
+	i, j, k := g.coords(nd.ID)
+	yc := collective.On(nd, g.yChain(i, k))
+
+	// Phase 1: all-to-all personalized along y — row group l of our B
+	// block goes to y-position l; the received pieces assemble into
+	// B_{f(k,j),i} of the (Q*qy x Q) partition (the paper's proof of
+	// correctness, Section 4.2.2).
+	bPieces := make([]*matrix.Dense, qy)
+	for l := 0; l < qy; l++ {
+		bPieces[l] = bBlk.RowGroup(qy, l)
+	}
+	got := yc.AllToAll(tagBase+1, bPieces)
+	bMine := matrix.ConcatCols(got...)
+
+	// Phase 2: all-to-all broadcasts along z and x, fused for
+	// multi-port overlap.
+	opB := collective.On(nd, g.zChain(i, j)).NewAllGather(tagBase+2, bMine)
+	opA := collective.On(nd, g.xChain(j, k)).NewAllGather(tagBase+3, aBlk)
+	collective.Run(opB, opA)
+	bAll, aAll := opB.Result(), opA.Result()
+
+	nd.NoteWords(2*Q*big*small + big*big)
+
+	// Compute I_{k,i} = sum_{m<Q} A_{k,f(m,j)} B_{f(m,j),i}: the A
+	// slab's global columns and the B slab's global rows coincide
+	// because the x and z extents are both Q.
+	islab := matrix.New(big, big)
+	for mm := 0; mm < Q; mm++ {
+		nd.MulAdd(islab, aAll[mm], bAll[mm])
+	}
+
+	// Phase 3: all-to-all reduction along y.
+	pieces := make([]*matrix.Dense, qy)
+	for l := 0; l < qy; l++ {
+		pieces[l] = islab.ColGroup(qy, l)
+	}
+	return yc.ReduceScatter(tagBase+4, pieces)
+}

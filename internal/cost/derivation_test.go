@@ -1,0 +1,153 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"hypermm/internal/simnet"
+)
+
+// These tests re-derive Table 2 rows from Table 1 collective costs,
+// phase by phase, exactly as the paper's Sections 3 and 4 do — an
+// executable version of the derivations. Any inconsistency between
+// CollectiveCost and Overhead fails here.
+
+func addPhase(aAcc, bAcc *float64, c Collective, N, M float64, pm simnet.PortModel) {
+	a, b := CollectiveCost(c, N, M, pm)
+	*aAcc += a
+	*bAcc += b
+}
+
+func closeTo(t *testing.T, name string, gotA, gotB, wantA, wantB float64) {
+	t.Helper()
+	if math.Abs(gotA-wantA) > 1e-9*(1+wantA) || math.Abs(gotB-wantB) > 1e-9*(1+wantB) {
+		t.Errorf("%s: derived (%g,%g) != Table 2 (%g,%g)", name, gotA, gotB, wantA, wantB)
+	}
+}
+
+func TestDeriveSimple(t *testing.T) {
+	// Two all-to-all broadcasts of n^2/p blocks among sqrt(p) nodes.
+	n, p := 240.0, 64.0
+	sq := math.Sqrt(p)
+	m := n * n / p
+	for _, pm := range bothPorts {
+		var a, b float64
+		addPhase(&a, &b, AllToAllBcast, sq, m, pm)
+		if pm == simnet.OnePort {
+			// Serialized phases: double both.
+			a, b = 2*a, 2*b
+		}
+		// Multi-port: the two phases overlap fully (disjoint dims), so
+		// a single phase's cost stands.
+		wantA, wantB, ok := Overhead(Simple, n, p, pm)
+		if !ok {
+			t.Fatal("Simple inapplicable")
+		}
+		closeTo(t, "Simple/"+pm.String(), a, b, wantA, wantB)
+	}
+}
+
+func TestDeriveDNSOnePort(t *testing.T) {
+	// Phase 1: two point-to-point lifts over log cbrt(p) hops; phase 2:
+	// two one-to-all broadcasts; phase 3: one reduction. All of
+	// n^2/p^(2/3)-word blocks among cbrt(p) nodes.
+	n, p := 240.0, 64.0
+	cb := math.Cbrt(p)
+	m := n * n / math.Pow(p, 2.0/3)
+	var a, b float64
+	// point-to-point store-and-forward = same cost as a broadcast's
+	// t_s and t_w structure: log cbrt(p) * (t_s + t_w m) each.
+	a += 2 * lg(cb)
+	b += 2 * lg(cb) * m
+	addPhase(&a, &b, OneToAllBcast, cb, m, simnet.OnePort)
+	addPhase(&a, &b, OneToAllBcast, cb, m, simnet.OnePort)
+	addPhase(&a, &b, AllToOneReduce, cb, m, simnet.OnePort)
+	wantA, wantB, _ := Overhead(DNS, n, p, simnet.OnePort)
+	closeTo(t, "DNS/one-port", a, b, wantA, wantB)
+}
+
+func TestDeriveThreeDiagOnePort(t *testing.T) {
+	// Phase 1: one point-to-point lift; phase 2: two broadcasts;
+	// phase 3: one reduction.
+	n, p := 240.0, 64.0
+	cb := math.Cbrt(p)
+	m := n * n / math.Pow(p, 2.0/3)
+	a := lg(cb)
+	b := lg(cb) * m
+	addPhase(&a, &b, OneToAllBcast, cb, m, simnet.OnePort)
+	addPhase(&a, &b, OneToAllBcast, cb, m, simnet.OnePort)
+	addPhase(&a, &b, AllToOneReduce, cb, m, simnet.OnePort)
+	wantA, wantB, _ := Overhead(ThreeDiag, n, p, simnet.OnePort)
+	closeTo(t, "3DD/one-port", a, b, wantA, wantB)
+}
+
+func TestDeriveAllTransOnePort(t *testing.T) {
+	// Gather of n^2/p pieces + (bcast of n^2/p^(2/3) + all-gather of
+	// n^2/p) + all-to-all reduction of n^2/p pieces, all among cbrt(p).
+	n, p := 240.0, 64.0
+	cb := math.Cbrt(p)
+	small := n * n / p
+	big := n * n / math.Pow(p, 2.0/3)
+	var a, b float64
+	// All-to-one gather = inverse of the personalized broadcast.
+	addPhase(&a, &b, OneToAllPersonalized, cb, small, simnet.OnePort)
+	addPhase(&a, &b, OneToAllBcast, cb, big, simnet.OnePort)
+	addPhase(&a, &b, AllToAllBcast, cb, small, simnet.OnePort)
+	addPhase(&a, &b, AllToAllReduce, cb, small, simnet.OnePort)
+	wantA, wantB, _ := Overhead(AllTrans, n, p, simnet.OnePort)
+	closeTo(t, "All_Trans/one-port", a, b, wantA, wantB)
+}
+
+func TestDeriveThreeAllOnePort(t *testing.T) {
+	// AAPC of n^2/(p*cbrt(p)) pieces + two all-gathers of n^2/p +
+	// all-to-all reduction of n^2/p, all among cbrt(p) nodes.
+	n, p := 240.0, 64.0
+	cb := math.Cbrt(p)
+	piece := n * n / (p * cb)
+	m := n * n / p
+	var a, b float64
+	addPhase(&a, &b, AllToAllPersonalized, cb, piece, simnet.OnePort)
+	addPhase(&a, &b, AllToAllBcast, cb, m, simnet.OnePort)
+	addPhase(&a, &b, AllToAllBcast, cb, m, simnet.OnePort)
+	addPhase(&a, &b, AllToAllReduce, cb, m, simnet.OnePort)
+	wantA, wantB, _ := Overhead(ThreeAll, n, p, simnet.OnePort)
+	closeTo(t, "3D All/one-port", a, b, wantA, wantB)
+}
+
+func TestDeriveThreeAllMultiPort(t *testing.T) {
+	// Multi-port, full-bandwidth regime: the two all-gathers overlap
+	// (one term), everything uses Table 1's multi-port column.
+	n, p := 1024.0, 512.0 // n^2 >= p^(4/3) log cbrt(p)
+	cb := math.Cbrt(p)
+	piece := n * n / (p * cb)
+	m := n * n / p
+	var a, b float64
+	addPhase(&a, &b, AllToAllPersonalized, cb, piece, simnet.MultiPort)
+	addPhase(&a, &b, AllToAllBcast, cb, m, simnet.MultiPort) // fused pair counts once
+	addPhase(&a, &b, AllToAllReduce, cb, m, simnet.MultiPort)
+	wantA, wantB, _ := Overhead(ThreeAll, n, p, simnet.MultiPort)
+	closeTo(t, "3D All/multi-port", a, b, wantA, wantB)
+}
+
+func TestDeriveBerntsenOnePort(t *testing.T) {
+	// Cannon on p^(2/3) processors over rectangular blocks, then an
+	// all-to-all reduction among cbrt(p) corresponding processors.
+	n, p := 240.0, 64.0
+	cb := math.Cbrt(p)
+	m := n * n / math.Pow(p, 2.0/3) // Cannon block words: (n/cb)*(n/cb^2)... per processor of the subcube
+	// Each subcube processor holds A piece (n/cb x n/cb^2) and B piece
+	// (n/cb^2 x n/cb): each of n^2/p words.
+	mm := n * n / p
+	var a, b float64
+	// Skew: two e-cube transfers of up to log cb hops each.
+	a += 2 * lg(cb)
+	b += 2 * lg(cb) * mm
+	// cb-1 shift steps, two transfers each.
+	a += 2 * (cb - 1)
+	b += 2 * (cb - 1) * mm
+	// All-to-all reduction of n^2/p pieces among cb processors.
+	addPhase(&a, &b, AllToAllReduce, cb, mm, simnet.OnePort)
+	wantA, wantB, _ := Overhead(Berntsen, n, p, simnet.OnePort)
+	closeTo(t, "Berntsen/one-port", a, b, wantA, wantB)
+	_ = m
+}

@@ -1,0 +1,49 @@
+package cost
+
+import (
+	"math"
+
+	"hypermm/internal/simnet"
+)
+
+// OverheadDNSCannon returns the communication-overhead coefficients
+// (a, b) of the DNS+Cannon combination algorithm of Section 3.5 with s
+// supernodes (each a p/s-processor Cannon mesh) on p processors.
+//
+// Phases: two point-to-point lifts along z (not overlapped), two fused
+// one-to-all broadcasts among cbrt(s) supernodes, Cannon's algorithm on
+// the sqrt(r) x sqrt(r) mesh, and an all-to-one reduction along z. The
+// sub-block size is m = n^2/(s^(2/3) r).
+func OverheadDNSCannon(n, p, s float64, pm simnet.PortModel) (a, b float64, ok bool) {
+	if n < 1 || p < 1 || s < 1 || p < s {
+		return 0, 0, false
+	}
+	r := p / s
+	cbs := math.Cbrt(s)
+	sqr := math.Sqrt(r)
+	// Applicability: one matrix element per processor at the finest.
+	if cbs*sqr > n*(1+applicEps) {
+		return 0, 0, false
+	}
+	if p <= 1 {
+		return 0, 0, true
+	}
+	m := n * n / (math.Pow(s, 2.0/3) * r)
+	logcbs := lg(cbs)
+	logsqr := lg(sqr)
+
+	switch pm {
+	case simnet.OnePort:
+		a = 2*logcbs + 2*logcbs + 2*logsqr + 2*(sqr-1) + logcbs
+		b = m * (2*logcbs + 2*logcbs + 2*logsqr + 2*(sqr-1) + logcbs)
+		return a, b, true
+	case simnet.MultiPort:
+		// Lifts pipeline per hop; the two broadcasts overlap; Cannon's
+		// A/B transfers overlap; the reduction uses all ports.
+		a = 2*logcbs + logcbs + logsqr + (sqr - 1) + logcbs
+		b = m * (2 + 1 + logsqr + (sqr - 1) + 1)
+		return a, b, true
+	default:
+		return 0, 0, false
+	}
+}

@@ -1,0 +1,85 @@
+package cost
+
+import (
+	"math"
+
+	"hypermm/internal/simnet"
+)
+
+// OverheadThreeAllGrid returns the communication-overhead coefficients
+// (a, b) of the generalized 3-D All algorithm on a Q x qy x Q grid with
+// p = Q^2*qy (the paper's Section 4.2.2 closing extension; see
+// internal/core.ThreeAllGrid). With qy = cbrt(p) it equals the Table 2
+// row for 3D All.
+//
+// Phase structure: an all-to-all personalized exchange among qy nodes
+// of n^2/(p*qy)-word pieces, two fused all-to-all broadcasts among Q
+// nodes of n^2/p-word blocks, and an all-to-all reduction among qy
+// nodes of n^2/p-word pieces.
+func OverheadThreeAllGrid(n, p, qy float64, pm simnet.PortModel) (a, b float64, ok bool) {
+	if n < 1 || p < 1 || qy < 1 || p < qy {
+		return 0, 0, false
+	}
+	q2 := p / qy
+	Q := math.Sqrt(q2)
+	// Applicability: the x-y plane holds Q*qy column groups of A, each
+	// at least one column wide, and the row groups need Q <= n.
+	if Q*qy > n*(1+applicEps) || Q > n*(1+applicEps) {
+		return 0, 0, false
+	}
+	if p <= 1 {
+		return 0, 0, true
+	}
+	m := n * n / p
+	logQ, logqy := lg(Q), lg(qy)
+
+	// Zero-extent chains contribute nothing.
+	safeDiv := func(x, l float64) float64 {
+		if l <= 0 {
+			return 0
+		}
+		return x / l
+	}
+
+	switch pm {
+	case simnet.OnePort:
+		a = logqy + 2*logQ + logqy
+		b = m * (logqy/2 + 2*(Q-1) + (qy - 1))
+		return a, b, true
+	case simnet.MultiPort:
+		a = logqy + logQ + logqy // the two broadcasts overlap
+		b = m * (0.5*boolTo(logqy > 0) + safeDiv(Q-1, logQ) + safeDiv(qy-1, logqy))
+		return a, b, true
+	default:
+		return 0, 0, false
+	}
+}
+
+func boolTo(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// BestGridQy returns the qy (a power of two dividing p with p/qy a
+// square power of two) minimizing the grid 3-D All communication time
+// at (n, p), and whether any shape is feasible.
+func BestGridQy(n, p, ts, tw float64, pm simnet.PortModel) (qy float64, ok bool) {
+	best, bestT := 0.0, math.Inf(1)
+	for cand := 1.0; cand <= p; cand *= 2 {
+		q2 := p / cand
+		lg2 := lg(q2)
+		if lg2 != math.Trunc(lg2) || int(lg2)%2 != 0 {
+			continue
+		}
+		a, b, feasible := OverheadThreeAllGrid(n, p, cand, pm)
+		if !feasible {
+			continue
+		}
+		if t := ts*a + tw*b; t < bestT {
+			best, bestT = cand, t
+		}
+	}
+	return best, best > 0
+}

@@ -1,0 +1,164 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"hypermm/internal/algorithms"
+	"hypermm/internal/matrix"
+	"hypermm/internal/simnet"
+)
+
+func TestGridOverheadMatchesCube(t *testing.T) {
+	// qy = cbrt(p) must reproduce the Table 2 row for 3D All exactly,
+	// in both port models (multi-port in the full-bandwidth regime).
+	n, p := 1024.0, 512.0
+	for _, pm := range bothPorts {
+		ga, gb, ok := OverheadThreeAllGrid(n, p, 8, pm)
+		if !ok {
+			t.Fatalf("%v: cube shape infeasible", pm)
+		}
+		ca, cb, ok := Overhead(ThreeAll, n, p, pm)
+		if !ok {
+			t.Fatal("3D All inapplicable")
+		}
+		if math.Abs(ga-ca) > 1e-9 || math.Abs(gb-cb) > 1e-9*cb {
+			t.Errorf("%v: grid (%g,%g) != Table 2 (%g,%g)", pm, ga, gb, ca, cb)
+		}
+	}
+}
+
+func TestGridExtendsApplicability(t *testing.T) {
+	// p = 2 n^2 / 4 ... a point beyond p = n^1.5 where the cube fails
+	// but a flat grid works.
+	n := 64.0
+	p := 2048.0 // n^1.5 = 512 < p < n^2/2 = 2048
+	if Applicable(ThreeAll, n, p) {
+		t.Fatal("test point should be beyond the cube's limit")
+	}
+	if _, _, ok := OverheadThreeAllGrid(n, p, 2, simnet.OnePort); !ok {
+		t.Error("flat grid (qy=2) should be feasible at p = n^2/2")
+	}
+	if _, _, ok := OverheadThreeAllGrid(n, 2*p, 2, simnet.OnePort); ok {
+		t.Error("grid feasible beyond Q*qy = n")
+	}
+}
+
+func TestGridInfeasibleShapes(t *testing.T) {
+	if _, _, ok := OverheadThreeAllGrid(0, 64, 4, simnet.OnePort); ok {
+		t.Error("accepted n=0")
+	}
+	if _, _, ok := OverheadThreeAllGrid(64, 8, 16, simnet.OnePort); ok {
+		t.Error("accepted qy > p")
+	}
+}
+
+func TestGridTrivial(t *testing.T) {
+	a, b, ok := OverheadThreeAllGrid(64, 1, 1, simnet.OnePort)
+	if !ok || a != 0 || b != 0 {
+		t.Errorf("p=1 grid overhead = (%g,%g,%v)", a, b, ok)
+	}
+}
+
+func TestBestGridQy(t *testing.T) {
+	// In the cube's region the best shape should be close to the cube
+	// (it matches Table 2's optimum); far beyond it, only flat shapes
+	// are feasible, so the best qy must be small.
+	qy, ok := BestGridQy(1024, 512, 150, 3, simnet.OnePort)
+	if !ok {
+		t.Fatal("no feasible shape at (1024, 512)")
+	}
+	if qy < 2 || qy > 32 {
+		t.Errorf("best qy at cube point = %g, expected near cbrt(p)=8", qy)
+	}
+	qy2, ok := BestGridQy(64, 2048, 150, 3, simnet.OnePort)
+	if !ok || qy2 != 2 {
+		t.Errorf("best qy at flat point = %g (ok=%v), want 2", qy2, ok)
+	}
+	if _, ok := BestGridQy(4, 1<<20, 150, 3, simnet.OnePort); ok {
+		t.Error("found a shape where none fits")
+	}
+}
+
+// TestGridMatchesMeasured cross-validates the grid formula against the
+// emulator at a rectangular shape.
+func TestGridMatchesMeasured(t *testing.T) {
+	const p, n, qy = 32, 32, 2 // Q = 4
+	for _, pm := range bothPorts {
+		aA, bA, ok := OverheadThreeAllGrid(n, p, qy, pm)
+		if !ok {
+			t.Fatal("shape infeasible")
+		}
+		aM, bM := measuredGrid(t, p, n, qy, pm)
+		if aM > aA*1.05+1e-9 || aM < aA*0.45 {
+			t.Errorf("%v: measured a=%g vs analytic %g", pm, aM, aA)
+		}
+		if bM > bA*1.05+1e-9 || bM < bA*0.45 {
+			t.Errorf("%v: measured b=%g vs analytic %g", pm, bM, bA)
+		}
+	}
+}
+
+func TestDNSCannonOverhead(t *testing.T) {
+	// Degenerate shapes reduce to the pure algorithms.
+	n, p := 256.0, 512.0
+	aC, bC, ok := OverheadDNSCannon(n, p, p, simnet.OnePort) // r=1: pure DNS
+	if !ok {
+		t.Fatal("s=p infeasible")
+	}
+	aD, bD, ok := Overhead(DNS, n, p, simnet.OnePort)
+	if !ok {
+		t.Fatal("DNS inapplicable")
+	}
+	if math.Abs(aC-aD) > 1e-9 || math.Abs(bC-bD) > 1e-9*bD {
+		t.Errorf("s=p combination (%g,%g) != DNS (%g,%g)", aC, bC, aD, bD)
+	}
+	// s=1: pure Cannon (the skew charge differs by the alignment term;
+	// compare the dominant shift terms only loosely).
+	aK, bK, ok := OverheadDNSCannon(n, 64, 1, simnet.OnePort)
+	if !ok {
+		t.Fatal("s=1 infeasible")
+	}
+	aCan, bCan, _ := Overhead(Cannon, n, 64, simnet.OnePort)
+	if aK > aCan+1e-9 || bK > bCan+1e-9 {
+		t.Errorf("s=1 combination (%g,%g) above Cannon (%g,%g)", aK, bK, aCan, bCan)
+	}
+	// The paper's argument: 3DD dominates the combination in start-ups.
+	a3, _, _ := Overhead(ThreeDiag, n, p, simnet.OnePort)
+	aMix, _, _ := OverheadDNSCannon(n, p, 64, simnet.OnePort)
+	if a3 >= aMix {
+		t.Errorf("3DD a=%g not below combination a=%g", a3, aMix)
+	}
+}
+
+// TestMeasuredDNSCannon cross-validates the combination formula.
+func TestMeasuredDNSCannon(t *testing.T) {
+	const p, n, s = 32, 32, 8
+	for _, pm := range bothPorts {
+		aA, bA, ok := OverheadDNSCannon(n, p, s, pm)
+		if !ok {
+			t.Fatal("shape infeasible")
+		}
+		A := matrix.Random(n, n, 51)
+		B := matrix.Random(n, n, 52)
+		var aM, bM float64
+		for i, cfg := range []struct{ ts, tw float64 }{{1, 0}, {0, 1}} {
+			m := simnet.NewMachine(simnet.Config{P: p, Ports: pm, Ts: cfg.ts, Tw: cfg.tw})
+			_, rs, err := algorithms.DNSCannon(m, A, B, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				aM = rs.Elapsed
+			} else {
+				bM = rs.Elapsed
+			}
+		}
+		if aM > aA*1.05+1e-9 || aM < aA*0.4 {
+			t.Errorf("%v: measured a=%g vs analytic %g", pm, aM, aA)
+		}
+		if bM > bA*1.05+1e-9 || bM < bA*0.4 {
+			t.Errorf("%v: measured b=%g vs analytic %g", pm, bM, bA)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package cost
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+)
+
+// Colors for the region-map algorithms, chosen to stay distinguishable
+// in grayscale reproduction too.
+var algColors = map[Alg]color.RGBA{
+	Simple:    {R: 0x88, G: 0x88, B: 0x88, A: 0xff},
+	Cannon:    {R: 0xd6, G: 0x60, B: 0x4f, A: 0xff}, // red-ish
+	HJE:       {R: 0xe8, G: 0xa8, B: 0x3c, A: 0xff}, // amber
+	Berntsen:  {R: 0x7b, G: 0x5c, B: 0xa8, A: 0xff}, // violet
+	DNS:       {R: 0x4f, G: 0x8f, B: 0x8f, A: 0xff}, // teal
+	Fox:       {R: 0xa0, G: 0x52, B: 0x2d, A: 0xff}, // sienna
+	TwoDiag:   {R: 0xc0, G: 0xc0, B: 0x60, A: 0xff},
+	ThreeDiag: {R: 0x3a, G: 0x6e, B: 0xc0, A: 0xff}, // blue
+	AllTrans:  {R: 0x5f, G: 0xb0, B: 0x6a, A: 0xff}, // light green
+	ThreeAll:  {R: 0x1f, G: 0x7a, B: 0x33, A: 0xff}, // green
+}
+
+var inapplicableColor = color.RGBA{R: 0xf2, G: 0xf2, B: 0xf2, A: 0xff}
+
+// Color returns the algorithm's region-map color.
+func (a Alg) Color() color.RGBA {
+	if c, ok := algColors[a]; ok {
+		return c
+	}
+	return color.RGBA{A: 0xff}
+}
+
+// Image renders the region map as a raster image with the given pixel
+// cell size: columns are log2 n ascending left to right, rows log2 p
+// ascending bottom to top (matching the paper's figure orientation).
+func (rm *RegionMap) Image(cell int) *image.RGBA {
+	if cell < 1 {
+		cell = 1
+	}
+	w, h := len(rm.LogN)*cell, len(rm.LogP)*cell
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	for pi := range rm.LogP {
+		for ni := range rm.LogN {
+			var c color.RGBA
+			if alg, ok := rm.At(pi, ni); ok {
+				c = alg.Color()
+			} else {
+				c = inapplicableColor
+			}
+			// Row 0 (smallest p) at the bottom of the image.
+			y0 := (len(rm.LogP) - 1 - pi) * cell
+			x0 := ni * cell
+			for y := y0; y < y0+cell; y++ {
+				for x := x0; x < x0+cell; x++ {
+					img.SetRGBA(x, y, c)
+				}
+			}
+		}
+	}
+	return img
+}
+
+// WritePNG encodes the region map as a PNG.
+func (rm *RegionMap) WritePNG(w io.Writer, cell int) error {
+	if err := png.Encode(w, rm.Image(cell)); err != nil {
+		return fmt.Errorf("cost: encoding region map: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package cost
+
+import (
+	"bytes"
+	"image/png"
+	"math"
+	"testing"
+
+	"hypermm/internal/simnet"
+)
+
+func TestRegionMapImage(t *testing.T) {
+	rm := stdMap(simnet.OnePort, 150, 3)
+	img := rm.Image(3)
+	wantW, wantH := len(rm.LogN)*3, len(rm.LogP)*3
+	if img.Bounds().Dx() != wantW || img.Bounds().Dy() != wantH {
+		t.Fatalf("image %dx%d, want %dx%d", img.Bounds().Dx(), img.Bounds().Dy(), wantW, wantH)
+	}
+	// Bottom-left cell: smallest p, smallest n — 3D All territory.
+	c := img.RGBAAt(1, img.Bounds().Dy()-2)
+	if c != ThreeAll.Color() {
+		t.Errorf("bottom-left color %v, want 3D All %v", c, ThreeAll.Color())
+	}
+	// Top-left: huge p, small n — inapplicable.
+	if got := img.RGBAAt(1, 1); got != inapplicableColor {
+		t.Errorf("top-left color %v, want inapplicable", got)
+	}
+}
+
+func TestRegionMapImageOrientation(t *testing.T) {
+	// The 3DD band must sit *above* the 3D All band (larger p).
+	rm := stdMap(simnet.OnePort, 150, 3)
+	img := rm.Image(1)
+	// Find, in a middle column, the transition from A (bottom) to D.
+	x := img.Bounds().Dx() / 2
+	sawAll, sawDD := false, false
+	for y := img.Bounds().Dy() - 1; y >= 0; y-- {
+		switch img.RGBAAt(x, y) {
+		case ThreeAll.Color():
+			if sawDD {
+				t.Fatal("3D All above 3DD: orientation flipped")
+			}
+			sawAll = true
+		case ThreeDiag.Color():
+			sawDD = true
+		}
+	}
+	if !sawAll || !sawDD {
+		t.Fatal("expected both 3D All and 3DD bands in the middle column")
+	}
+}
+
+func TestWritePNGRoundTrip(t *testing.T) {
+	rm := stdMap(simnet.MultiPort, 150, 3)
+	var buf bytes.Buffer
+	if err := rm.WritePNG(&buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != len(rm.LogN)*2 {
+		t.Error("decoded width wrong")
+	}
+}
+
+func TestAlgColorsDistinct(t *testing.T) {
+	seen := map[[4]uint8]Alg{}
+	for _, a := range Algorithms {
+		c := a.Color()
+		key := [4]uint8{c.R, c.G, c.B, c.A}
+		if prev, dup := seen[key]; dup {
+			t.Errorf("%v and %v share a color", a, prev)
+		}
+		seen[key] = a
+		// Distinguishable from the inapplicable background.
+		if math.Abs(float64(c.R)-float64(inapplicableColor.R)) < 16 &&
+			math.Abs(float64(c.G)-float64(inapplicableColor.G)) < 16 &&
+			math.Abs(float64(c.B)-float64(inapplicableColor.B)) < 16 {
+			t.Errorf("%v color too close to background", a)
+		}
+	}
+	if Alg(99).Color().A != 0xff {
+		t.Error("unknown Alg color not opaque")
+	}
+}

@@ -1,0 +1,81 @@
+package cost
+
+import (
+	"math"
+
+	"hypermm/internal/simnet"
+)
+
+// Scalability analysis in the style of Gupta & Kumar, "Scalability of
+// Parallel Algorithms for Matrix Multiplication" (the paper's
+// reference [5]): parallel efficiency and numeric isoefficiency — the
+// problem size an algorithm needs to sustain a target efficiency as
+// the machine grows. Lower isoefficiency growth means a more scalable
+// algorithm; 3D All's reduced communication overhead shows up directly
+// here.
+
+// Efficiency returns E = T_serial / (p * T_parallel) for the algorithm
+// at (n, p), where T_serial = 2 n^3 t_c and T_parallel adds the
+// Table 2 communication time to the perfectly parallel compute time.
+// ok is false where the algorithm is inapplicable or the efficiency is
+// undefined (t_c = 0).
+func Efficiency(alg Alg, n, p, ts, tw, tc float64, pm simnet.PortModel) (float64, bool) {
+	if tc <= 0 || n < 1 || p < 1 {
+		return 0, false
+	}
+	tpar, ok := TotalTime(alg, n, p, ts, tw, tc, pm)
+	if !ok || tpar <= 0 {
+		if p == 1 {
+			return 1, true
+		}
+		return 0, false
+	}
+	return 2 * n * n * n * tc / (p * tpar), true
+}
+
+// IsoefficiencyN returns the smallest matrix size n at which the
+// algorithm reaches the target efficiency on p processors (continuous
+// n, bisection), or ok=false if no n up to the search cap achieves it.
+// Note the applicability limits work in the algorithm's favor here:
+// larger n only relaxes them.
+func IsoefficiencyN(alg Alg, p, target, ts, tw, tc float64, pm simnet.PortModel) (float64, bool) {
+	if target <= 0 || target >= 1 || tc <= 0 || p < 1 {
+		return 0, false
+	}
+	const nCap = 1 << 30
+	lo, hi := 1.0, 0.0
+	// Exponential search for an upper bracket.
+	for n := 2.0; n <= nCap; n *= 2 {
+		if e, ok := Efficiency(alg, n, p, ts, tw, tc, pm); ok && e >= target {
+			hi = n
+			break
+		}
+		lo = n
+	}
+	if hi == 0 {
+		return 0, false
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if e, ok := Efficiency(alg, mid, p, ts, tw, tc, pm); ok && e >= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, true
+}
+
+// IsoefficiencyCurve evaluates IsoefficiencyN over a set of machine
+// sizes; entries are NaN where the target is unreachable.
+func IsoefficiencyCurve(alg Alg, ps []float64, target, ts, tw, tc float64, pm simnet.PortModel) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		if n, ok := IsoefficiencyN(alg, p, target, ts, tw, tc, pm); ok {
+			out[i] = n
+		} else {
+			out[i] = math.NaN()
+		}
+	}
+	return out
+}

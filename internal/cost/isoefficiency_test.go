@@ -1,0 +1,95 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"hypermm/internal/simnet"
+)
+
+func TestEfficiencyBasics(t *testing.T) {
+	// Efficiency lies in (0, 1], improves with n, degrades with p.
+	e1, ok := Efficiency(ThreeAll, 256, 64, 150, 3, 0.5, simnet.OnePort)
+	if !ok || e1 <= 0 || e1 > 1 {
+		t.Fatalf("efficiency = %g ok=%v", e1, ok)
+	}
+	e2, _ := Efficiency(ThreeAll, 512, 64, 150, 3, 0.5, simnet.OnePort)
+	if e2 <= e1 {
+		t.Errorf("efficiency did not improve with n: %g -> %g", e1, e2)
+	}
+	e3, _ := Efficiency(ThreeAll, 256, 512, 150, 3, 0.5, simnet.OnePort)
+	if e3 >= e1 {
+		t.Errorf("efficiency did not degrade with p: %g -> %g", e1, e3)
+	}
+	if _, ok := Efficiency(ThreeAll, 256, 64, 150, 3, 0, simnet.OnePort); ok {
+		t.Error("efficiency defined with tc=0")
+	}
+	if e, ok := Efficiency(Cannon, 64, 1, 1, 1, 1, simnet.OnePort); !ok || e != 1 {
+		t.Errorf("p=1 efficiency = %g", e)
+	}
+}
+
+func TestIsoefficiencyMonotoneInP(t *testing.T) {
+	// Sustaining fixed efficiency on more processors needs a larger
+	// problem.
+	var prev float64
+	for _, p := range []float64{8, 64, 512, 4096} {
+		n, ok := IsoefficiencyN(ThreeAll, p, 0.5, 150, 3, 0.5, simnet.OnePort)
+		if !ok {
+			t.Fatalf("no isoefficiency point at p=%g", p)
+		}
+		if n <= prev {
+			t.Errorf("p=%g: isoefficiency n=%g not above %g", p, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestIsoefficiencyAchievesTarget(t *testing.T) {
+	const p, target = 512.0, 0.6
+	n, ok := IsoefficiencyN(ThreeDiag, p, target, 150, 3, 0.5, simnet.OnePort)
+	if !ok {
+		t.Fatal("no point found")
+	}
+	e, ok := Efficiency(ThreeDiag, n, p, 150, 3, 0.5, simnet.OnePort)
+	if !ok || e < target-1e-6 {
+		t.Errorf("efficiency at returned n = %g < %g", e, target)
+	}
+	// Just below n the target must not be met (minimality).
+	if e2, ok := Efficiency(ThreeDiag, n*0.99, p, 150, 3, 0.5, simnet.OnePort); ok && e2 >= target {
+		t.Errorf("n not minimal: efficiency at 0.99n = %g", e2)
+	}
+}
+
+// TestThreeAllMostScalable: 3D All needs the smallest problem of the
+// paper's candidates to sustain 50% efficiency — the scalability
+// consequence of its lower communication overhead.
+func TestThreeAllMostScalable(t *testing.T) {
+	const p = 4096.0
+	nAll, ok := IsoefficiencyN(ThreeAll, p, 0.5, 150, 3, 0.5, simnet.OnePort)
+	if !ok {
+		t.Fatal("3D All unreachable")
+	}
+	for _, rival := range []Alg{Cannon, Berntsen, ThreeDiag, DNS} {
+		nr, ok := IsoefficiencyN(rival, p, 0.5, 150, 3, 0.5, simnet.OnePort)
+		if ok && nr < nAll {
+			t.Errorf("%v isoefficiency n=%g below 3D All's %g", rival, nr, nAll)
+		}
+	}
+}
+
+func TestIsoefficiencyCurve(t *testing.T) {
+	ps := []float64{8, 64, 512}
+	curve := IsoefficiencyCurve(ThreeAll, ps, 0.5, 150, 3, 0.5, simnet.OnePort)
+	if len(curve) != 3 {
+		t.Fatal("curve length wrong")
+	}
+	for i, v := range curve {
+		if math.IsNaN(v) {
+			t.Errorf("curve[%d] is NaN", i)
+		}
+	}
+	if bad := IsoefficiencyCurve(ThreeAll, []float64{8}, 1.5, 150, 3, 0.5, simnet.OnePort); !math.IsNaN(bad[0]) {
+		t.Error("impossible target should yield NaN")
+	}
+}

@@ -1,0 +1,188 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hypermm/internal/simnet"
+)
+
+// RegionMap is the paper's Figure 13/14 artifact: for every point of an
+// (n, p) grid, the algorithm with the least communication overhead
+// under given (t_s, t_w) and port model.
+type RegionMap struct {
+	PM     simnet.PortModel
+	Ts, Tw float64
+	LogN   []float64 // column coordinates (log2 n, ascending)
+	LogP   []float64 // row coordinates (log2 p, ascending)
+	Algs   []Alg     // candidate set
+	Winner [][]int   // [pi][ni]: index into Algs, or -1 if none applicable
+}
+
+// DefaultCandidates returns the algorithm set the paper compares in its
+// Section 5 analysis: Cannon, Berntsen, 3DD and 3D All on a one-port
+// machine, plus Ho-Johnsson-Edelman on a multi-port machine (Simple is
+// excluded for its space inefficiency; DNS and 3D All_Trans are
+// dominated by 3DD and 3D All respectively).
+func DefaultCandidates(pm simnet.PortModel) []Alg {
+	if pm == simnet.MultiPort {
+		return []Alg{Cannon, HJE, Berntsen, ThreeDiag, ThreeAll}
+	}
+	return []Alg{Cannon, Berntsen, ThreeDiag, ThreeAll}
+}
+
+// NewRegionMap evaluates the winner grid over
+// logN in [logNMin, logNMax] and logP in [logPMin, logPMax] with the
+// given number of steps per axis.
+func NewRegionMap(pm simnet.PortModel, ts, tw float64, algs []Alg,
+	logNMin, logNMax float64, nSteps int,
+	logPMin, logPMax float64, pSteps int) *RegionMap {
+	if nSteps < 2 || pSteps < 2 {
+		panic("cost: region map needs at least 2 steps per axis")
+	}
+	rm := &RegionMap{PM: pm, Ts: ts, Tw: tw, Algs: algs}
+	for i := 0; i < nSteps; i++ {
+		rm.LogN = append(rm.LogN, logNMin+(logNMax-logNMin)*float64(i)/float64(nSteps-1))
+	}
+	for i := 0; i < pSteps; i++ {
+		rm.LogP = append(rm.LogP, logPMin+(logPMax-logPMin)*float64(i)/float64(pSteps-1))
+	}
+	rm.Winner = make([][]int, pSteps)
+	for pi, lp := range rm.LogP {
+		rm.Winner[pi] = make([]int, nSteps)
+		for ni, ln := range rm.LogN {
+			rm.Winner[pi][ni] = rm.winnerAt(pow2(ln), pow2(lp))
+		}
+	}
+	return rm
+}
+
+func pow2(x float64) float64 { return math.Exp2(x) }
+
+// winnerAt returns the index of the cheapest applicable algorithm.
+func (rm *RegionMap) winnerAt(n, p float64) int {
+	best, bestT := -1, 0.0
+	for idx, alg := range rm.Algs {
+		t, ok := Time(alg, n, p, rm.Ts, rm.Tw, rm.PM)
+		if !ok {
+			continue
+		}
+		if best == -1 || t < bestT {
+			best, bestT = idx, t
+		}
+	}
+	return best
+}
+
+// At returns the winning algorithm at grid cell (pi, ni) and whether
+// any algorithm applies there.
+func (rm *RegionMap) At(pi, ni int) (Alg, bool) {
+	w := rm.Winner[pi][ni]
+	if w < 0 {
+		return 0, false
+	}
+	return rm.Algs[w], true
+}
+
+// Render draws the map as ASCII art: rows are log2 p descending, columns
+// log2 n ascending; each cell is the winner's letter, '.' where no
+// algorithm applies.
+func (rm *RegionMap) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Best algorithm regions (%v, t_s=%g, t_w=%g)\n", rm.PM, rm.Ts, rm.Tw)
+	fmt.Fprintf(&sb, "rows: log2 p in [%g,%g] (top=large p); cols: log2 n in [%g,%g]\n",
+		rm.LogP[0], rm.LogP[len(rm.LogP)-1], rm.LogN[0], rm.LogN[len(rm.LogN)-1])
+	for pi := len(rm.LogP) - 1; pi >= 0; pi-- {
+		fmt.Fprintf(&sb, "p=2^%-5.1f |", rm.LogP[pi])
+		for ni := range rm.LogN {
+			if alg, ok := rm.At(pi, ni); ok {
+				sb.WriteByte(alg.Letter())
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("          +")
+	sb.WriteString(strings.Repeat("-", len(rm.LogN)))
+	sb.WriteByte('\n')
+	sb.WriteString("           ")
+	label := make([]byte, len(rm.LogN))
+	for i := range label {
+		label[i] = ' '
+	}
+	for ni := 0; ni < len(rm.LogN); ni += 8 {
+		mark := fmt.Sprintf("^%.0f", rm.LogN[ni])
+		for k := 0; k < len(mark) && ni+k < len(label); k++ {
+			label[ni+k] = mark[k]
+		}
+	}
+	sb.Write(label)
+	sb.WriteByte('\n')
+	sb.WriteString(rm.Legend())
+	return sb.String()
+}
+
+// Legend describes the letters used in Render.
+func (rm *RegionMap) Legend() string {
+	var parts []string
+	for _, a := range rm.Algs {
+		parts = append(parts, fmt.Sprintf("%c=%v", a.Letter(), a))
+	}
+	parts = append(parts, ".=none applicable")
+	return "legend: " + strings.Join(parts, ", ") + "\n"
+}
+
+// Share returns the fraction of applicable grid cells won by alg.
+func (rm *RegionMap) Share(alg Alg) float64 {
+	won, applicable := 0, 0
+	for pi := range rm.Winner {
+		for ni := range rm.Winner[pi] {
+			if w, ok := rm.At(pi, ni); ok {
+				applicable++
+				if w == alg {
+					won++
+				}
+			}
+		}
+	}
+	if applicable == 0 {
+		return 0
+	}
+	return float64(won) / float64(applicable)
+}
+
+// CrossoverP finds, by bisection over machine size, the smallest p in
+// [pLo, pHi] at which algorithm b becomes at least as cheap as
+// algorithm a (communication time, both applicable). ok is false if no
+// crossover exists in the bracket.
+func CrossoverP(a, b Alg, n, ts, tw float64, pm simnet.PortModel, pLo, pHi float64) (float64, bool) {
+	cheaperB := func(p float64) (bool, bool) {
+		ta, oka := Time(a, n, p, ts, tw, pm)
+		tb, okb := Time(b, n, p, ts, tw, pm)
+		if !oka || !okb {
+			return false, false
+		}
+		return tb <= ta, true
+	}
+	lo, okLo := cheaperB(pLo)
+	hi, okHi := cheaperB(pHi)
+	if !okLo || !okHi || lo || !hi {
+		// Either endpoints invalid, b already cheaper at pLo (no
+		// crossover inside), or b never becomes cheaper.
+		if okLo && lo {
+			return pLo, true
+		}
+		return 0, false
+	}
+	for i := 0; i < 80; i++ {
+		mid := math.Sqrt(pLo * pHi) // geometric bisection
+		if c, okc := cheaperB(mid); okc && c {
+			pHi = mid
+		} else {
+			pLo = mid
+		}
+	}
+	return pHi, true
+}

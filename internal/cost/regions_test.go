@@ -1,0 +1,198 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hypermm/internal/simnet"
+)
+
+func stdMap(pm simnet.PortModel, ts, tw float64) *RegionMap {
+	return NewRegionMap(pm, ts, tw, DefaultCandidates(pm), 5, 13, 33, 3, 18, 31)
+}
+
+// TestFig13ThreeAllRegion reproduces the headline shape of Figure 13:
+// on one-port hypercubes 3D All wins everywhere it applies
+// (p <= n^1.5, p >= 8), for all four (t_s, t_w) panels.
+func TestFig13ThreeAllRegion(t *testing.T) {
+	for _, panel := range []struct{ ts, tw float64 }{{150, 3}, {50, 3}, {10, 3}, {2, 3}} {
+		rm := stdMap(simnet.OnePort, panel.ts, panel.tw)
+		for pi, lp := range rm.LogP {
+			for ni, ln := range rm.LogN {
+				n, p := math.Exp2(ln), math.Exp2(lp)
+				if p >= 8 && Applicable(ThreeAll, n, p) {
+					if w, ok := rm.At(pi, ni); !ok || w != ThreeAll {
+						t.Errorf("ts=%g: at n=2^%.1f p=2^%.1f winner=%v, want 3D All", panel.ts, ln, lp, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFig13ThreeDiagOnlyBeyondN2 reproduces: "The 3DD is the only
+// algorithm applicable in the region n^3 >= p > n^2."
+func TestFig13ThreeDiagOnlyBeyondN2(t *testing.T) {
+	rm := stdMap(simnet.OnePort, 150, 3)
+	found := false
+	for pi, lp := range rm.LogP {
+		for ni, ln := range rm.LogN {
+			n, p := math.Exp2(ln), math.Exp2(lp)
+			if p > n*n && p <= n*n*n {
+				w, ok := rm.At(pi, ni)
+				if !ok || w != ThreeDiag {
+					t.Errorf("at n=2^%.1f p=2^%.1f: winner=%v ok=%v, want 3DD only", ln, lp, w, ok)
+				}
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("grid contains no points with n^2 < p <= n^3")
+	}
+}
+
+// TestFig13MiddleRegionDependsOnTs reproduces the paper's observation
+// for n^1.5 < p <= n^2: with t_s=150, t_w=3 3DD wins the whole region;
+// with very small t_s Cannon takes most of it.
+func TestFig13MiddleRegionDependsOnTs(t *testing.T) {
+	count := func(ts, tw float64) (dd, cannon, total int) {
+		rm := stdMap(simnet.OnePort, ts, tw)
+		for pi, lp := range rm.LogP {
+			for ni, ln := range rm.LogN {
+				n, p := math.Exp2(ln), math.Exp2(lp)
+				if p > math.Pow(n, 1.5) && p <= n*n {
+					total++
+					switch w, _ := rm.At(pi, ni); w {
+					case ThreeDiag:
+						dd++
+					case Cannon:
+						cannon++
+					}
+				}
+			}
+		}
+		return
+	}
+	dd, _, total := count(150, 3)
+	if total == 0 {
+		t.Fatal("no middle-region points")
+	}
+	if float64(dd)/float64(total) < 0.95 {
+		t.Errorf("ts=150: 3DD wins only %d/%d of the middle region", dd, total)
+	}
+	_, cannon, total2 := count(0.5, 3)
+	if float64(cannon)/float64(total2) < 0.5 {
+		t.Errorf("tiny ts: Cannon wins only %d/%d of the middle region", cannon, total2)
+	}
+}
+
+// TestFig14ThreeAllRegion reproduces Figure 14's headline: on
+// multi-port hypercubes 3D All, wherever applicable, performs best
+// among the candidate set (for p above small sizes).
+func TestFig14ThreeAllRegion(t *testing.T) {
+	for _, panel := range []struct{ ts, tw float64 }{{150, 3}, {50, 3}, {10, 3}, {2, 3}} {
+		rm := stdMap(simnet.MultiPort, panel.ts, panel.tw)
+		for pi, lp := range rm.LogP {
+			for ni, ln := range rm.LogN {
+				n, p := math.Exp2(ln), math.Exp2(lp)
+				if p >= 64 && Applicable(ThreeAll, n, p) {
+					if w, ok := rm.At(pi, ni); !ok || w != ThreeAll {
+						t.Errorf("ts=%g: at n=2^%.1f p=2^%.1f winner=%v, want 3D All", panel.ts, ln, lp, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRegionMapRender(t *testing.T) {
+	rm := stdMap(simnet.OnePort, 150, 3)
+	s := rm.Render()
+	for _, want := range []string{"Best algorithm regions", "legend:", "A=3D All", "D=3DD"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	if len(strings.Split(s, "\n")) < len(rm.LogP) {
+		t.Error("render too short")
+	}
+}
+
+func TestRegionMapShare(t *testing.T) {
+	rm := stdMap(simnet.OnePort, 150, 3)
+	var sum float64
+	for _, a := range rm.Algs {
+		sum += rm.Share(a)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("shares sum to %g", sum)
+	}
+	if rm.Share(ThreeAll) <= 0 {
+		t.Error("3D All wins nothing")
+	}
+}
+
+func TestRegionMapInapplicableCorner(t *testing.T) {
+	// Tiny n, huge p: nothing applies (p > n^3).
+	rm := NewRegionMap(simnet.OnePort, 150, 3, DefaultCandidates(simnet.OnePort), 1, 2, 4, 14, 16, 4)
+	if _, ok := rm.At(len(rm.LogP)-1, 0); ok {
+		t.Error("winner reported where p > n^3")
+	}
+}
+
+func TestDefaultCandidates(t *testing.T) {
+	one := DefaultCandidates(simnet.OnePort)
+	multi := DefaultCandidates(simnet.MultiPort)
+	if len(multi) != len(one)+1 {
+		t.Errorf("multi-port set should add HJE: %v vs %v", multi, one)
+	}
+	hasHJE := false
+	for _, a := range multi {
+		if a == HJE {
+			hasHJE = true
+		}
+	}
+	if !hasHJE {
+		t.Error("multi-port candidates missing HJE")
+	}
+}
+
+func TestCrossoverP(t *testing.T) {
+	// At moderate t_s, Cannon beats 3DD at small p but 3DD's start-up
+	// advantage wins as p grows: there is a crossover in between.
+	n := 512.0
+	const ts, tw = 20.0, 3.0
+	p, ok := CrossoverP(Cannon, ThreeDiag, n, ts, tw, simnet.OnePort, 8, math.Pow(n, 1.9))
+	if !ok {
+		t.Fatal("no crossover found")
+	}
+	tc, _ := Time(Cannon, n, p*1.1, ts, tw, simnet.OnePort)
+	td, _ := Time(ThreeDiag, n, p*1.1, ts, tw, simnet.OnePort)
+	if td > tc {
+		t.Errorf("3DD not cheaper just above the crossover: %g vs %g", td, tc)
+	}
+	tc2, _ := Time(Cannon, n, p/1.5, ts, tw, simnet.OnePort)
+	td2, _ := Time(ThreeDiag, n, p/1.5, ts, tw, simnet.OnePort)
+	if td2 < tc2 {
+		t.Errorf("3DD already cheaper well below the crossover: %g vs %g", td2, tc2)
+	}
+	// With tiny t_s there is no crossover up to the bracket's edge —
+	// the paper's "for very small t_s Cannon performs better over most
+	// of the region".
+	if _, ok := CrossoverP(Cannon, ThreeDiag, n, 0.5, tw, simnet.OnePort, 8, math.Pow(n, 1.9)); ok {
+		t.Error("unexpected crossover at tiny t_s")
+	}
+	// 3D All dominates Cannon everywhere applicable: crossover at the
+	// left edge.
+	p2, ok := CrossoverP(Cannon, ThreeAll, n, 150, 3, simnet.OnePort, 8, math.Pow(n, 1.4))
+	if !ok || p2 != 8 {
+		t.Errorf("3D All crossover = (%g,%v), want immediate dominance", p2, ok)
+	}
+	// No crossover bracket: comparing an algorithm against itself.
+	if _, ok := CrossoverP(Cannon, Cannon, n, 1, 1, simnet.OnePort, 8, 1024); ok {
+		// equal times count as "at least as cheap" at pLo
+		_ = ok
+	}
+}

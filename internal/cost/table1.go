@@ -1,0 +1,78 @@
+package cost
+
+import (
+	"fmt"
+
+	"hypermm/internal/simnet"
+)
+
+// Collective identifies a collective communication pattern of Table 1.
+type Collective int
+
+// The collective patterns of Table 1 (plus the reductions, which the
+// paper notes are the communication inverses of the broadcasts).
+const (
+	OneToAllBcast Collective = iota
+	OneToAllPersonalized
+	AllToAllBcast
+	AllToAllPersonalized
+	AllToOneReduce
+	AllToAllReduce
+)
+
+// String implements fmt.Stringer with the paper's names.
+func (c Collective) String() string {
+	switch c {
+	case OneToAllBcast:
+		return "One-to-All Broadcast"
+	case OneToAllPersonalized:
+		return "One-to-All Personalized Broadcast"
+	case AllToAllBcast:
+		return "All-to-All Broadcast"
+	case AllToAllPersonalized:
+		return "All-to-All Personalized Broadcast"
+	case AllToOneReduce:
+		return "All-to-One Reduction"
+	case AllToAllReduce:
+		return "All-to-All Reduction"
+	default:
+		return fmt.Sprintf("Collective(%d)", int(c))
+	}
+}
+
+// Collectives lists the Table 1 rows in order.
+var Collectives = []Collective{
+	OneToAllBcast, OneToAllPersonalized, AllToAllBcast, AllToAllPersonalized,
+	AllToOneReduce, AllToAllReduce,
+}
+
+// CollectiveCost returns Table 1's optimal cost coefficients (a, b) —
+// time = t_s*a + t_w*b — for the pattern on an N-processor hypercube
+// with messages of M words. Multi-port figures assume M >= log N
+// (enough words to fill all ports).
+func CollectiveCost(c Collective, N, M float64, pm simnet.PortModel) (a, b float64) {
+	logN := lg(N)
+	if N <= 1 {
+		return 0, 0
+	}
+	multi := pm == simnet.MultiPort
+	switch c {
+	case OneToAllBcast, AllToOneReduce:
+		if multi {
+			return logN, M
+		}
+		return logN, M * logN
+	case OneToAllPersonalized, AllToAllBcast, AllToAllReduce:
+		if multi {
+			return logN, (N - 1) * M / logN
+		}
+		return logN, (N - 1) * M
+	case AllToAllPersonalized:
+		if multi {
+			return logN, N * M / 2
+		}
+		return logN, N * M * logN / 2
+	default:
+		panic(fmt.Sprintf("cost: unknown collective %d", int(c)))
+	}
+}

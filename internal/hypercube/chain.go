@@ -1,0 +1,257 @@
+package hypercube
+
+import "fmt"
+
+// Chain is a one-dimensional line of q = 2^d grid positions embedded as
+// a d-dimensional subcube of the machine. It is the unit on which every
+// collective communication pattern in the paper runs ("any collective
+// communication pattern ... is along a one-dimensional chain of
+// processors", Section 2).
+//
+// Two coordinate systems coexist on a chain:
+//
+//   - position: the grid coordinate 0..q-1. Consecutive positions
+//     (including the wrap-around) are physical neighbors because
+//     positions are embedded by Gray code. Ring shifts (Cannon) use
+//     positions.
+//   - rank: the d-bit subcube coordinate, i.e. the chain's physical
+//     address bits read directly. Rank r and rank r^(1<<s) are physical
+//     neighbors across the chain's s-th dimension. Subcube collectives
+//     (broadcast, all-gather, ...) use ranks.
+//
+// rank = Gray(position); position = GrayRank(rank).
+type Chain struct {
+	dims []int // dims[s] = physical cube dimension carrying rank bit s
+	base int   // the fixed address bits outside dims
+}
+
+// NewChain builds a chain spanning the given physical dimensions (low
+// rank bit first) with the remaining address bits fixed to base. The
+// base must have zero bits in all spanned dimensions.
+func NewChain(base int, dims []int) Chain {
+	for _, d := range dims {
+		if d < 0 {
+			panic(fmt.Sprintf("hypercube: negative chain dimension %d", d))
+		}
+		if base&(1<<d) != 0 {
+			panic(fmt.Sprintf("hypercube: chain base %#x has a bit in spanned dimension %d", base, d))
+		}
+	}
+	cp := make([]int, len(dims))
+	copy(cp, dims)
+	return Chain{dims: cp, base: base}
+}
+
+// Q returns the number of nodes on the chain.
+func (ch Chain) Q() int { return 1 << len(ch.dims) }
+
+// Dim returns log2(Q), the subcube dimensionality of the chain.
+func (ch Chain) Dim() int { return len(ch.dims) }
+
+// PhysDim returns the physical cube dimension carrying rank bit s.
+func (ch Chain) PhysDim(s int) int {
+	if s < 0 || s >= len(ch.dims) {
+		panic(fmt.Sprintf("hypercube: chain bit %d out of %d", s, len(ch.dims)))
+	}
+	return ch.dims[s]
+}
+
+// spread places the low len(dims) bits of rank into the chain's
+// physical dimensions.
+func (ch Chain) spread(rank int) int {
+	a := 0
+	for s, d := range ch.dims {
+		if rank&(1<<s) != 0 {
+			a |= 1 << d
+		}
+	}
+	return a
+}
+
+// collect extracts the chain rank from a physical node address.
+func (ch Chain) collect(node int) int {
+	r := 0
+	for s, d := range ch.dims {
+		if node&(1<<d) != 0 {
+			r |= 1 << s
+		}
+	}
+	return r
+}
+
+// NodeAtRank returns the physical address of the node with the given
+// subcube rank.
+func (ch Chain) NodeAtRank(rank int) int {
+	if rank < 0 || rank >= ch.Q() {
+		panic(fmt.Sprintf("hypercube: chain rank %d out of %d", rank, ch.Q()))
+	}
+	return ch.base | ch.spread(rank)
+}
+
+// NodeAt returns the physical address of the node at the given grid
+// position (Gray-embedded).
+func (ch Chain) NodeAt(pos int) int { return ch.NodeAtRank(Gray(pos)) }
+
+// RankOf returns the subcube rank of a physical node on the chain.
+func (ch Chain) RankOf(node int) int {
+	if !ch.Contains(node) {
+		panic(fmt.Sprintf("hypercube: node %d not on chain base %#x", node, ch.base))
+	}
+	return ch.collect(node)
+}
+
+// PosOf returns the grid position of a physical node on the chain.
+func (ch Chain) PosOf(node int) int { return GrayRank(ch.RankOf(node)) }
+
+// Contains reports whether the physical node lies on the chain.
+func (ch Chain) Contains(node int) bool {
+	return node&^ch.mask() == ch.base
+}
+
+func (ch Chain) mask() int {
+	m := 0
+	for _, d := range ch.dims {
+		m |= 1 << d
+	}
+	return m
+}
+
+// RingStepDim returns the physical dimension connecting position pos to
+// position (pos+1) mod Q — a single dimension by the Gray embedding.
+func (ch Chain) RingStepDim(pos int) int {
+	q := ch.Q()
+	if pos < 0 || pos >= q {
+		panic(fmt.Sprintf("hypercube: chain position %d out of %d", pos, q))
+	}
+	if pos == q-1 { // wrap-around: Gray(q-1) and Gray(0) differ in the top bit
+		return ch.dims[len(ch.dims)-1]
+	}
+	return ch.dims[GrayStepBit(pos)]
+}
+
+// String implements fmt.Stringer for debugging.
+func (ch Chain) String() string {
+	return fmt.Sprintf("Chain{base=%#x dims=%v}", ch.base, ch.dims)
+}
+
+// Grid2D embeds a q x q virtual processor mesh into a hypercube of
+// p = q^2 nodes: node(i,j) = Gray(i) in the high d dimensions and
+// Gray(j) in the low d dimensions, so every row and every column is a
+// d-dimensional subcube.
+type Grid2D struct {
+	Q   int // processors per side
+	d   int // log2(Q)
+	Cub Cube
+}
+
+// NewGrid2D builds the embedding for p = q^2 processors; p must be an
+// even power of two.
+func NewGrid2D(p int) Grid2D {
+	d := Log2(p)
+	if d%2 != 0 {
+		panic(fmt.Sprintf("hypercube: Grid2D needs an even cube dimension, got p=%d", p))
+	}
+	return Grid2D{Q: 1 << (d / 2), d: d / 2, Cub: New(p)}
+}
+
+// Node returns the physical address of mesh processor (i, j) — row i,
+// column j.
+func (g Grid2D) Node(i, j int) int {
+	g.chk(i)
+	g.chk(j)
+	return Gray(i)<<g.d | Gray(j)
+}
+
+func (g Grid2D) chk(c int) {
+	if c < 0 || c >= g.Q {
+		panic(fmt.Sprintf("hypercube: grid coordinate %d out of [0,%d)", c, g.Q))
+	}
+}
+
+// Coords returns the mesh coordinates (i, j) of a physical node.
+func (g Grid2D) Coords(node int) (i, j int) {
+	return GrayRank(node >> g.d), GrayRank(node & (1<<g.d - 1))
+}
+
+// RowChain returns the chain of row i (j varies along the row).
+func (g Grid2D) RowChain(i int) Chain {
+	g.chk(i)
+	return NewChain(Gray(i)<<g.d, dimsRange(0, g.d))
+}
+
+// ColChain returns the chain of column j (i varies along the column).
+func (g Grid2D) ColChain(j int) Chain {
+	g.chk(j)
+	return NewChain(Gray(j), dimsRange(g.d, g.d))
+}
+
+// Grid3D embeds a q x q x q virtual processor grid into a hypercube of
+// p = q^3 nodes: node(i,j,k) carries Gray(i) in the high d dimensions
+// (the paper's x axis), Gray(j) in the middle d (y), and Gray(k) in the
+// low d (z). Every axis-parallel line is a d-dimensional subcube.
+type Grid3D struct {
+	Q   int
+	d   int
+	Cub Cube
+}
+
+// NewGrid3D builds the embedding for p = q^3 processors; the cube
+// dimension must be a multiple of three.
+func NewGrid3D(p int) Grid3D {
+	d := Log2(p)
+	if d%3 != 0 {
+		panic(fmt.Sprintf("hypercube: Grid3D needs a cube dimension divisible by 3, got p=%d", p))
+	}
+	return Grid3D{Q: 1 << (d / 3), d: d / 3, Cub: New(p)}
+}
+
+// Node returns the physical address of grid processor p_{i,j,k}.
+func (g Grid3D) Node(i, j, k int) int {
+	g.chk(i)
+	g.chk(j)
+	g.chk(k)
+	return Gray(i)<<(2*g.d) | Gray(j)<<g.d | Gray(k)
+}
+
+func (g Grid3D) chk(c int) {
+	if c < 0 || c >= g.Q {
+		panic(fmt.Sprintf("hypercube: grid coordinate %d out of [0,%d)", c, g.Q))
+	}
+}
+
+// Coords returns the grid coordinates (i, j, k) of a physical node.
+func (g Grid3D) Coords(node int) (i, j, k int) {
+	m := 1<<g.d - 1
+	return GrayRank(node >> (2 * g.d)), GrayRank((node >> g.d) & m), GrayRank(node & m)
+}
+
+// XChain returns the line with j, k fixed and i varying (the paper's
+// x direction).
+func (g Grid3D) XChain(j, k int) Chain {
+	g.chk(j)
+	g.chk(k)
+	return NewChain(Gray(j)<<g.d|Gray(k), dimsRange(2*g.d, g.d))
+}
+
+// YChain returns the line with i, k fixed and j varying (y direction).
+func (g Grid3D) YChain(i, k int) Chain {
+	g.chk(i)
+	g.chk(k)
+	return NewChain(Gray(i)<<(2*g.d)|Gray(k), dimsRange(g.d, g.d))
+}
+
+// ZChain returns the line with i, j fixed and k varying (z direction).
+func (g Grid3D) ZChain(i, j int) Chain {
+	g.chk(i)
+	g.chk(j)
+	return NewChain(Gray(i)<<(2*g.d)|Gray(j)<<g.d, dimsRange(0, g.d))
+}
+
+// dimsRange returns the physical dimensions lo, lo+1, ..., lo+n-1.
+func dimsRange(lo, n int) []int {
+	ds := make([]int, n)
+	for s := range ds {
+		ds[s] = lo + s
+	}
+	return ds
+}

@@ -1,0 +1,127 @@
+// Package hypercube provides the topology math for a 2-ary n-cube:
+// binary-reflected Gray codes, node addressing, e-cube routing, and the
+// embeddings of virtual 2-D and 3-D processor grids into a physical
+// hypercube used throughout the paper.
+//
+// Embedding convention: a virtual grid coordinate c in [0, q) with
+// q = 2^d occupies d physical cube dimensions and is encoded as the
+// Gray code gray(c), so that consecutive grid positions (including the
+// ring wrap-around q-1 -> 0) are physical neighbors. Every grid line is
+// therefore a d-dimensional subcube of the machine (the paper's Section
+// 2), and collective operations on a line can use subcube dimension
+// exchanges directly.
+package hypercube
+
+import "fmt"
+
+// IsPow2 reports whether x is a positive power of two.
+func IsPow2(x int) bool { return x > 0 && x&(x-1) == 0 }
+
+// Log2 returns log2(x) for a positive power of two, panicking otherwise.
+func Log2(x int) int {
+	if !IsPow2(x) {
+		panic(fmt.Sprintf("hypercube: %d is not a positive power of two", x))
+	}
+	d := 0
+	for x > 1 {
+		x >>= 1
+		d++
+	}
+	return d
+}
+
+// Gray returns the binary-reflected Gray code of i.
+// Gray is a GF(2)-linear bijection: Gray(a^b) == Gray(a)^Gray(b).
+func Gray(i int) int { return i ^ (i >> 1) }
+
+// GrayRank inverts Gray: GrayRank(Gray(i)) == i.
+func GrayRank(g int) int {
+	i := 0
+	for ; g != 0; g >>= 1 {
+		i ^= g
+	}
+	return i
+}
+
+// GrayStepBit returns the bit position in which Gray(k) and Gray(k+1)
+// differ; equivalently the number of trailing zeros of k+1.
+func GrayStepBit(k int) int {
+	return trailingZeros(k + 1)
+}
+
+func trailingZeros(x int) int {
+	if x == 0 {
+		panic("hypercube: trailingZeros(0)")
+	}
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// Bit returns bit d of x (0 or 1).
+func Bit(x, d int) int { return (x >> d) & 1 }
+
+// HammingDist returns the number of bit positions in which a and b differ.
+func HammingDist(a, b int) int {
+	x := a ^ b
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Cube is a hypercube of P = 2^Dim nodes addressed 0..P-1; nodes are
+// neighbors iff their addresses differ in exactly one bit.
+type Cube struct {
+	Dim int
+	P   int
+}
+
+// New returns the hypercube with p nodes; p must be a power of two.
+func New(p int) Cube {
+	return Cube{Dim: Log2(p), P: p}
+}
+
+// Neighbor returns the node across dimension d from node.
+func (c Cube) Neighbor(node, d int) int {
+	c.check(node)
+	if d < 0 || d >= c.Dim {
+		panic(fmt.Sprintf("hypercube: dimension %d out of cube dim %d", d, c.Dim))
+	}
+	return node ^ (1 << d)
+}
+
+func (c Cube) check(node int) {
+	if node < 0 || node >= c.P {
+		panic(fmt.Sprintf("hypercube: node %d out of range [0,%d)", node, c.P))
+	}
+}
+
+// Hops returns the routing distance (Hamming distance) between two nodes.
+func (c Cube) Hops(src, dst int) int {
+	c.check(src)
+	c.check(dst)
+	return HammingDist(src, dst)
+}
+
+// Route returns the e-cube (dimension-ordered, lowest bit first) path
+// from src to dst, excluding src and including dst. An empty slice means
+// src == dst.
+func (c Cube) Route(src, dst int) []int {
+	c.check(src)
+	c.check(dst)
+	var path []int
+	cur := src
+	for d := 0; d < c.Dim; d++ {
+		if (cur^dst)&(1<<d) != 0 {
+			cur ^= 1 << d
+			path = append(path, cur)
+		}
+	}
+	return path
+}

@@ -1,0 +1,145 @@
+package hypercube
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPow2(t *testing.T) {
+	yes := []int{1, 2, 4, 8, 1024, 1 << 20}
+	no := []int{0, -1, -2, 3, 5, 6, 7, 12, 1000}
+	for _, v := range yes {
+		if !IsPow2(v) {
+			t.Errorf("IsPow2(%d) = false, want true", v)
+		}
+	}
+	for _, v := range no {
+		if IsPow2(v) {
+			t.Errorf("IsPow2(%d) = true, want false", v)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	for d := 0; d < 20; d++ {
+		if got := Log2(1 << d); got != d {
+			t.Errorf("Log2(%d) = %d, want %d", 1<<d, got, d)
+		}
+	}
+}
+
+func TestLog2PanicsOnNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Log2(12) did not panic")
+		}
+	}()
+	Log2(12)
+}
+
+func TestGrayRoundTrip(t *testing.T) {
+	f := func(i uint16) bool {
+		return GrayRank(Gray(int(i))) == int(i)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGrayIsLinear(t *testing.T) {
+	f := func(a, b uint16) bool {
+		return Gray(int(a)^int(b)) == Gray(int(a))^Gray(int(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGrayNeighborProperty(t *testing.T) {
+	// Consecutive Gray codes differ in exactly one bit, at GrayStepBit.
+	for k := 0; k < 4096; k++ {
+		diff := Gray(k) ^ Gray(k+1)
+		if diff == 0 || diff&(diff-1) != 0 {
+			t.Fatalf("Gray(%d)^Gray(%d) = %b is not a single bit", k, k+1, diff)
+		}
+		if diff != 1<<GrayStepBit(k) {
+			t.Fatalf("GrayStepBit(%d) = %d, but diff = %b", k, GrayStepBit(k), diff)
+		}
+	}
+}
+
+func TestGrayRingWrap(t *testing.T) {
+	// Gray(q-1) and Gray(0) differ only in the top bit for q a power of two.
+	for d := 1; d <= 12; d++ {
+		q := 1 << d
+		if Gray(q-1)^Gray(0) != q/2 {
+			t.Errorf("d=%d: wrap diff = %b, want %b", d, Gray(q-1)^Gray(0), q/2)
+		}
+	}
+}
+
+func TestGrayIsPermutation(t *testing.T) {
+	const q = 1 << 10
+	seen := make([]bool, q)
+	for i := 0; i < q; i++ {
+		g := Gray(i)
+		if g < 0 || g >= q || seen[g] {
+			t.Fatalf("Gray not a permutation at %d -> %d", i, g)
+		}
+		seen[g] = true
+	}
+}
+
+func TestHammingDist(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0b1010, 0b0101, 4}, {7, 0, 3}, {255, 254, 1},
+	}
+	for _, c := range cases {
+		if got := HammingDist(c.a, c.b); got != c.want {
+			t.Errorf("HammingDist(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCubeNeighbor(t *testing.T) {
+	c := New(16)
+	for n := 0; n < 16; n++ {
+		for d := 0; d < 4; d++ {
+			nb := c.Neighbor(n, d)
+			if HammingDist(n, nb) != 1 {
+				t.Fatalf("neighbor(%d,%d) = %d not adjacent", n, d, nb)
+			}
+			if c.Neighbor(nb, d) != n {
+				t.Fatalf("neighbor not involutive at (%d,%d)", n, d)
+			}
+		}
+	}
+}
+
+func TestRoute(t *testing.T) {
+	c := New(64)
+	for src := 0; src < 64; src += 7 {
+		for dst := 0; dst < 64; dst += 5 {
+			path := c.Route(src, dst)
+			if len(path) != c.Hops(src, dst) {
+				t.Fatalf("route %d->%d has %d hops want %d", src, dst, len(path), c.Hops(src, dst))
+			}
+			cur := src
+			for _, nxt := range path {
+				if HammingDist(cur, nxt) != 1 {
+					t.Fatalf("route %d->%d step %d->%d not adjacent", src, dst, cur, nxt)
+				}
+				cur = nxt
+			}
+			if len(path) > 0 && cur != dst {
+				t.Fatalf("route %d->%d ends at %d", src, dst, cur)
+			}
+		}
+	}
+}
+
+func TestBit(t *testing.T) {
+	if Bit(0b1010, 1) != 1 || Bit(0b1010, 0) != 0 || Bit(0b1010, 3) != 1 {
+		t.Error("Bit extraction wrong")
+	}
+}

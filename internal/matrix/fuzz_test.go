@@ -1,0 +1,64 @@
+package matrix
+
+import "testing"
+
+func FuzzGridBlockRoundTrip(f *testing.F) {
+	f.Add(uint8(2), uint8(3), int64(7))
+	f.Fuzz(func(t *testing.T, qrB, qcB uint8, seed int64) {
+		qr := 1 + int(qrB)%4
+		qc := 1 + int(qcB)%4
+		m := Random(qr*3, qc*2, seed)
+		re := New(m.Rows, m.Cols)
+		for i := 0; i < qr; i++ {
+			for j := 0; j < qc; j++ {
+				re.SetGridBlock(qr, qc, i, j, m.GridBlock(qr, qc, i, j))
+			}
+		}
+		if !Equal(re, m) {
+			t.Fatal("grid round trip mismatch")
+		}
+	})
+}
+
+func FuzzOuterProductDecomposition(f *testing.F) {
+	f.Add(uint8(2), int64(3))
+	f.Fuzz(func(t *testing.T, qB uint8, seed int64) {
+		q := 1 + int(qB)%6
+		n := q * 3
+		a := Random(n, n, seed)
+		b := Random(n, n, seed+1)
+		sum := New(n, n)
+		for k := 0; k < q; k++ {
+			sum.AddInto(Mul(a.ColGroup(q, k), b.RowGroup(q, k)))
+		}
+		if MaxAbsDiff(sum, Mul(a, b)) > 1e-9 {
+			t.Fatal("outer-product decomposition mismatch")
+		}
+	})
+}
+
+func FuzzThreeAllPieceIdentity(f *testing.F) {
+	// The Figure 8/9 identity underpinning the 3-D All proof, fuzzed
+	// over grid shapes and content.
+	f.Add(uint8(2), int64(11))
+	f.Fuzz(func(t *testing.T, qB uint8, seed int64) {
+		q := 1 + int(qB)%3
+		n := q * q * 2
+		b := Random(n, n, seed)
+		for k := 0; k < q; k++ {
+			for j := 0; j < q; j++ {
+				for i := 0; i < q; i++ {
+					var pieces []*Dense
+					for l := 0; l < q; l++ {
+						pieces = append(pieces, b.GridBlock(q, q*q, k, F(q, i, l)).RowGroup(q, j))
+					}
+					got := ConcatCols(pieces...)
+					want := b.GridBlock(q*q, q, F(q, k, j), i)
+					if !Equal(got, want) {
+						t.Fatalf("identity fails at k=%d j=%d i=%d q=%d", k, j, i, q)
+					}
+				}
+			}
+		}
+	})
+}

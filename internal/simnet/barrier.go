@@ -1,0 +1,57 @@
+package simnet
+
+import "sync"
+
+// barrier is a reusable cyclic barrier that also aligns logical clocks:
+// every participant leaves with its clock advanced to the maximum over
+// all participants at entry.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	count   int
+	gen     uint64
+	maxNow  float64
+	release float64
+}
+
+func newBarrier(parties int) *barrier {
+	b := &barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await enters the barrier with the caller's clock and returns the
+// aligned (maximum) clock once all parties have arrived.
+func (b *barrier) await(now float64) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if now > b.maxNow {
+		b.maxNow = now
+	}
+	b.count++
+	if b.count == b.parties {
+		b.release = b.maxNow
+		b.maxNow = 0
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return b.release
+	}
+	gen := b.gen
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	return b.release
+}
+
+// Barrier synchronizes all nodes of the machine at zero simulated cost
+// and aligns every node's clock to the latest participant. Algorithms
+// in this repository do not use it — their phases pipeline naturally,
+// which is measured honestly — but callers who want the paper's
+// strictly sequential phase accounting can insert barriers between
+// phases. Every node of the machine must call Barrier the same number
+// of times or the program deadlocks.
+func (n *Node) Barrier() {
+	n.now = n.m.bar.await(n.now)
+}

@@ -1,0 +1,542 @@
+// Package simnet emulates a hypercube multicomputer in pure Go.
+//
+// Every processor node runs as its own goroutine; messages are real data
+// copies delivered through buffered channels; and a deterministic
+// logical-clock layer charges each transfer the paper's cost
+//
+//	hops * (t_s + t_w * words)
+//
+// under either of the paper's two machine models:
+//
+//   - OnePort: a node drives at most one outgoing and one incoming
+//     transfer at a time (single-port, full-duplex). All of a node's
+//     sends serialize through its clock, all receives serialize through
+//     a single receive port, and a simultaneous send+receive pair
+//     overlaps — which is what makes a Cannon shift step cost
+//     t_s + t_w*m rather than twice that, exactly as the paper counts.
+//   - MultiPort: a node may drive all log p links concurrently; each
+//     cube dimension has its own outgoing and incoming port clock.
+//
+// Transfers between non-neighbors are routed e-cube (lowest dimension
+// first) and charged store-and-forward: hops*(t_s + t_w*words), matching
+// the paper's worst-case point-to-point charges. Intermediate nodes are
+// not occupied (cut-through buffering); the lockstep algorithms in this
+// repository are insensitive to that simplification.
+//
+// Determinism: receives match on (source, tag); a node's program order
+// fixes the order port clocks advance, so simulated times are exactly
+// reproducible run to run regardless of goroutine scheduling.
+package simnet
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"hypermm/internal/hypercube"
+	"hypermm/internal/matrix"
+	"hypermm/internal/trace"
+)
+
+// PortModel selects the paper's one-port or multi-port machine model.
+type PortModel int
+
+const (
+	// OnePort allows one send and one receive at a time per node.
+	OnePort PortModel = iota
+	// MultiPort allows concurrent transfers on every cube dimension.
+	MultiPort
+)
+
+// String implements fmt.Stringer.
+func (pm PortModel) String() string {
+	switch pm {
+	case OnePort:
+		return "one-port"
+	case MultiPort:
+		return "multi-port"
+	default:
+		return fmt.Sprintf("PortModel(%d)", int(pm))
+	}
+}
+
+// Config describes a simulated machine.
+type Config struct {
+	P     int       // number of processors; must be a power of two
+	Ports PortModel // one-port or multi-port
+	Ts    float64   // message start-up cost (per hop)
+	Tw    float64   // transfer time per word (per hop)
+	Tc    float64   // compute time per floating-point operation
+
+	// InboxCap overrides the per-node inbox channel capacity (0 means
+	// a generous default). It bounds sender run-ahead, not correctness.
+	InboxCap int
+
+	// Trace, when non-nil, records every send, receive and compute
+	// span (in simulated time) for Gantt rendering and utilization
+	// summaries. Tracing does not perturb the simulated clocks.
+	Trace *trace.Log
+
+	// Topology selects the interconnect (default Hypercube). The
+	// collective library and most algorithms assume a hypercube; the
+	// 2-D torus supports neighbor-structured algorithms like Cannon's.
+	Topology Topology
+
+	// Fault, when non-nil, is invoked on every message as it is
+	// submitted to the network and may mutate the payload — a failure
+	// injection hook for testing that end-to-end verification catches
+	// corrupted transfers. It must be safe for concurrent use.
+	Fault func(src, dst int, tag uint64, data []float64)
+}
+
+// Msg is a delivered message.
+type Msg struct {
+	Src, Dst   int
+	Tag        uint64
+	Data       []float64
+	Rows, Cols int // optional shape for matrix payloads (0 if raw)
+
+	depart float64 // sender port start time
+	hops   int
+	inDim  int // receiver-side port dimension (highest differing bit)
+}
+
+// Words returns the message payload length in words.
+func (m *Msg) Words() int { return len(m.Data) }
+
+// Matrix reinterprets the payload as a dense matrix. Panics if the
+// message did not carry a shape.
+func (m *Msg) Matrix() *matrix.Dense {
+	if m.Rows*m.Cols != len(m.Data) {
+		panic(fmt.Sprintf("simnet: message %dx%d shape does not cover %d words", m.Rows, m.Cols, len(m.Data)))
+	}
+	return matrix.FromSlice(m.Rows, m.Cols, m.Data)
+}
+
+// Machine is a simulated multicomputer (hypercube by default).
+type Machine struct {
+	Cfg    Config
+	Cube   hypercube.Cube // valid for the Hypercube topology
+	torusQ int            // side length for the Torus2D topology
+	nodes  []*Node
+	bar    *barrier
+}
+
+// NewMachine builds a machine with cfg.P processor nodes.
+func NewMachine(cfg Config) *Machine {
+	m := &Machine{Cfg: cfg, nodes: make([]*Node, cfg.P), bar: newBarrier(cfg.P)}
+	switch cfg.Topology {
+	case Torus2D:
+		q := intSqrt(cfg.P)
+		if q*q != cfg.P {
+			panic(fmt.Sprintf("simnet: torus needs a square node count, got %d", cfg.P))
+		}
+		m.torusQ = q
+	default:
+		m.Cube = hypercube.New(cfg.P)
+	}
+	cap := cfg.InboxCap
+	if cap <= 0 {
+		cap = 8*m.numPorts() + 64
+	}
+	for id := range m.nodes {
+		m.nodes[id] = &Node{
+			ID:       id,
+			m:        m,
+			inbox:    make(chan *Msg, cap),
+			sendPort: make([]float64, m.numPorts()),
+			recvPort: make([]float64, m.numPorts()),
+		}
+	}
+	return m
+}
+
+// intSqrt returns the integer square root of x.
+func intSqrt(x int) int {
+	r := 0
+	for (r+1)*(r+1) <= x {
+		r++
+	}
+	return r
+}
+
+// Node returns the node with the given address.
+func (m *Machine) Node(id int) *Node { return m.nodes[id] }
+
+// P returns the number of processors.
+func (m *Machine) P() int { return m.Cfg.P }
+
+// NodeStats is a snapshot of one node's counters.
+type NodeStats struct {
+	ID        int
+	Clock     float64 // local logical time at program end
+	Msgs      int64   // messages sent
+	Words     int64   // payload words sent (end to end)
+	Startups  int64   // per-hop start-ups charged to this sender
+	WordHops  int64   // payload words times hops
+	Flops     int64   // floating-point operations executed
+	PeakWords int     // largest NoteWords() observation (space accounting)
+}
+
+// RunStats aggregates a completed run.
+type RunStats struct {
+	Elapsed       float64 // max node clock: simulated makespan
+	TotalMsgs     int64
+	TotalWords    int64
+	TotalStartups int64
+	TotalWordHops int64
+	TotalFlops    int64
+	TotalPeak     int // sum over nodes of PeakWords: aggregate space
+	MaxPeak       int // largest single-node PeakWords
+	Nodes         []NodeStats
+}
+
+// Run executes program on every node concurrently (SPMD) and returns
+// aggregated statistics once all node programs have returned. A node
+// panic is re-raised on the caller with the node id attached.
+func (m *Machine) Run(program func(n *Node)) RunStats {
+	var wg sync.WaitGroup
+	panics := make(chan string, len(m.nodes))
+	// Reset every node before spawning any program goroutine: a node
+	// spawned early may deliver its first messages to a peer whose
+	// reset has not happened yet, and reset drains the inbox — the
+	// message would be silently lost and its receiver would block
+	// forever (observed as a rare large-p deadlock).
+	for _, n := range m.nodes {
+		n.reset()
+	}
+	for _, n := range m.nodes {
+		wg.Add(1)
+		go func(n *Node) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics <- fmt.Sprintf("node %d: %v", n.ID, r)
+				}
+			}()
+			program(n)
+		}(n)
+	}
+	wg.Wait()
+	select {
+	case p := <-panics:
+		panic("simnet: " + p)
+	default:
+	}
+	return m.collect()
+}
+
+func (m *Machine) collect() RunStats {
+	var rs RunStats
+	rs.Nodes = make([]NodeStats, len(m.nodes))
+	for i, n := range m.nodes {
+		s := NodeStats{
+			ID: n.ID, Clock: n.now, Msgs: n.msgs, Words: n.words,
+			Startups: n.startups, WordHops: n.wordHops, Flops: n.flops,
+			PeakWords: n.peakWords,
+		}
+		rs.Nodes[i] = s
+		if s.Clock > rs.Elapsed {
+			rs.Elapsed = s.Clock
+		}
+		rs.TotalMsgs += s.Msgs
+		rs.TotalWords += s.Words
+		rs.TotalStartups += s.Startups
+		rs.TotalWordHops += s.WordHops
+		rs.TotalFlops += s.Flops
+		rs.TotalPeak += s.PeakWords
+		if s.PeakWords > rs.MaxPeak {
+			rs.MaxPeak = s.PeakWords
+		}
+	}
+	return rs
+}
+
+// Node is one simulated processor. Node methods must only be called
+// from within the node's own program goroutine.
+type Node struct {
+	ID int
+	m  *Machine
+
+	now      float64   // local logical clock
+	sendPort []float64 // per-dimension outgoing port busy-until (multi-port)
+	recvPort []float64 // per-dimension incoming port busy-until (multi-port)
+	sendBusy float64   // single outgoing port busy-until (one-port)
+	recvBusy float64   // single incoming port busy-until (one-port)
+
+	inbox   chan *Msg
+	pending []*Msg
+
+	msgs, words, startups, wordHops, flops int64
+	peakWords                              int
+
+	// Diagnostic state, written before blocking in match and read
+	// (racily, diagnostics only) by Machine.Diagnose.
+	waitSrc atomic.Int64
+	waitTag atomic.Uint64
+	waiting atomic.Bool
+}
+
+func (n *Node) reset() {
+	n.now, n.sendBusy, n.recvBusy = 0, 0, 0
+	for d := range n.sendPort {
+		n.sendPort[d], n.recvPort[d] = 0, 0
+	}
+	n.pending = n.pending[:0]
+	for {
+		select {
+		case <-n.inbox:
+		default:
+			n.msgs, n.words, n.startups, n.wordHops, n.flops = 0, 0, 0, 0, 0
+			n.peakWords = 0
+			return
+		}
+	}
+}
+
+// Machine returns the machine the node belongs to.
+func (n *Node) Machine() *Machine { return n.m }
+
+// P returns the machine size.
+func (n *Node) P() int { return n.m.Cfg.P }
+
+// Ports returns the machine's port model.
+func (n *Node) Ports() PortModel { return n.m.Cfg.Ports }
+
+// CubeDim returns log2(P).
+func (n *Node) CubeDim() int { return n.m.Cube.Dim }
+
+// Now returns the node's current logical time.
+func (n *Node) Now() float64 { return n.now }
+
+// cost returns the modeled transfer time for a payload over h hops.
+//
+// One-port: store-and-forward, h*(t_s + t_w*m) — the paper's charge for
+// e.g. the 3DD first phase on a one-port machine. Multi-port:
+// h*t_s + t_w*m — a multi-port node can pipeline a multi-hop transfer
+// over edge-disjoint paths, which is how Table 2 arrives at DNS's
+// multi-port coefficient 4 n^2/p^(2/3) and 3DD's 3 n^2/p^(2/3).
+func (n *Node) cost(words, hops int) float64 {
+	if n.m.Cfg.Ports == MultiPort {
+		return float64(hops)*n.m.Cfg.Ts + n.m.Cfg.Tw*float64(words)
+	}
+	return float64(hops) * (n.m.Cfg.Ts + n.m.Cfg.Tw*float64(words))
+}
+
+// Send transmits data (copied) to the destination node with the given
+// tag, charging the e-cube store-and-forward cost to the sender's
+// outgoing port. Send never blocks on simulated time, only on inbox
+// back-pressure.
+func (n *Node) Send(dst int, tag uint64, data []float64) {
+	n.sendShaped(dst, tag, data, 0, 0)
+}
+
+// SendM transmits a dense matrix block, preserving its shape.
+func (n *Node) SendM(dst int, tag uint64, blk *matrix.Dense) {
+	n.sendShaped(dst, tag, blk.Data, blk.Rows, blk.Cols)
+}
+
+func (n *Node) sendShaped(dst int, tag uint64, data []float64, rows, cols int) {
+	if dst < 0 || dst >= n.m.Cfg.P {
+		panic(fmt.Sprintf("simnet: send to node %d out of range [0,%d)", dst, n.m.Cfg.P))
+	}
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	msg := &Msg{Src: n.ID, Dst: dst, Tag: tag, Data: cp, Rows: rows, Cols: cols}
+	if f := n.m.Cfg.Fault; f != nil && dst != n.ID {
+		f(n.ID, dst, tag, cp)
+	}
+	if dst == n.ID {
+		msg.depart = n.now
+		n.pending = append(n.pending, msg)
+		return
+	}
+	msg.hops = n.m.hops(n.ID, dst)
+	outDim := n.m.outPort(n.ID, dst)
+	msg.inDim = n.m.inPort(n.ID, dst)
+	c := n.cost(len(data), msg.hops)
+
+	var start float64
+	switch n.m.Cfg.Ports {
+	case OnePort:
+		// The single outgoing port serializes through the node clock:
+		// the node cannot compute or start another send meanwhile.
+		start = maxf(n.now, n.sendBusy)
+		n.sendBusy = start + c
+		n.now = n.sendBusy
+	case MultiPort:
+		// Only the dimension's outgoing port is occupied; the node may
+		// immediately issue transfers on other dimensions or compute.
+		start = maxf(n.now, n.sendPort[outDim])
+		n.sendPort[outDim] = start + c
+	}
+	msg.depart = start
+	if tr := n.m.Cfg.Trace; tr != nil {
+		tr.Add(trace.Event{Node: n.ID, Kind: trace.Send, Start: start, End: start + c, Peer: dst, Words: len(data), Tag: tag})
+	}
+
+	n.msgs++
+	n.words += int64(len(data))
+	n.startups += int64(msg.hops)
+	n.wordHops += int64(len(data) * msg.hops)
+
+	n.m.nodes[dst].inbox <- msg
+}
+
+// Recv blocks until the message with the given source and tag arrives,
+// charges the receive-port occupancy, and advances the node clock to
+// the arrival time (the data dependency).
+func (n *Node) Recv(src int, tag uint64) *Msg {
+	msg := n.match(src, tag)
+	if msg.Src == n.ID { // self-delivery is free
+		if msg.depart > n.now {
+			n.now = msg.depart
+		}
+		return msg
+	}
+	c := n.cost(len(msg.Data), msg.hops)
+	var arrival float64
+	switch n.m.Cfg.Ports {
+	case OnePort:
+		start := maxf(msg.depart, n.recvBusy)
+		arrival = start + c
+		n.recvBusy = arrival
+	case MultiPort:
+		start := maxf(msg.depart, n.recvPort[msg.inDim])
+		arrival = start + c
+		n.recvPort[msg.inDim] = arrival
+	}
+	if tr := n.m.Cfg.Trace; tr != nil {
+		tr.Add(trace.Event{Node: n.ID, Kind: trace.Recv, Start: arrival - c, End: arrival, Peer: msg.Src, Words: len(msg.Data), Tag: tag})
+	}
+	if arrival > n.now {
+		n.now = arrival
+	}
+	return msg
+}
+
+// RecvM receives a shaped matrix message.
+func (n *Node) RecvM(src int, tag uint64) *matrix.Dense {
+	return n.Recv(src, tag).Matrix()
+}
+
+// match returns the first pending or incoming message from src with tag.
+func (n *Node) match(src int, tag uint64) *Msg {
+	for i, p := range n.pending {
+		if p.Src == src && p.Tag == tag {
+			n.pending = append(n.pending[:i], n.pending[i+1:]...)
+			return p
+		}
+	}
+	n.waitSrc.Store(int64(src))
+	n.waitTag.Store(tag)
+	n.waiting.Store(true)
+	defer n.waiting.Store(false)
+	for {
+		msg := <-n.inbox
+		if msg.Src == src && msg.Tag == tag {
+			return msg
+		}
+		n.pending = append(n.pending, msg)
+	}
+}
+
+// Diagnose reports, for every node currently blocked in a receive, the
+// (source, tag) it waits for and the (source, tag) pairs parked in its
+// pending set. Reads are racy by design — call it from a watchdog while
+// a run appears stalled.
+func (m *Machine) Diagnose() string {
+	var sb strings.Builder
+	for _, n := range m.nodes {
+		if !n.waiting.Load() {
+			continue
+		}
+		fmt.Fprintf(&sb, "node %d waits on (src=%d tag=%#x); inbox=%d pending=[",
+			n.ID, n.waitSrc.Load(), n.waitTag.Load(), len(n.inbox))
+		for i, p := range n.pending {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "(%d,%#x)", p.Src, p.Tag)
+		}
+		sb.WriteString("]\n")
+	}
+	return sb.String()
+}
+
+// Compute charges flops floating-point operations to the node clock.
+func (n *Node) Compute(flops int64) {
+	if flops < 0 {
+		panic("simnet: negative flop count")
+	}
+	n.flops += flops
+	d := float64(flops) * n.m.Cfg.Tc
+	if tr := n.m.Cfg.Trace; tr != nil && d > 0 {
+		tr.Add(trace.Event{Node: n.ID, Kind: trace.Compute, Start: n.now, End: n.now + d, Peer: -1, Words: 0})
+	}
+	n.now += d
+}
+
+// MulAdd performs c += a*b locally and charges the flop cost.
+func (n *Node) MulAdd(c, a, b *matrix.Dense) {
+	matrix.MulAdd(c, a, b)
+	n.Compute(matrix.MulFlops(a.Rows, a.Cols, b.Cols))
+}
+
+// Mul returns a*b, charging the flop cost.
+func (n *Node) Mul(a, b *matrix.Dense) *matrix.Dense {
+	c := matrix.Mul(a, b)
+	n.Compute(matrix.MulFlops(a.Rows, a.Cols, b.Cols))
+	return c
+}
+
+// NoteWords records an observation of the node's current live data
+// words; the maximum over observations is reported as PeakWords for the
+// paper's Table 3 space accounting. Algorithms call it at their peak
+// holding points.
+func (n *Node) NoteWords(words int) {
+	if words > n.peakWords {
+		n.peakWords = words
+	}
+}
+
+// AdvanceTo moves the node clock forward to t if t is later; used by
+// collectives to model synchronized phase boundaries. It never moves
+// the clock backward.
+func (n *Node) AdvanceTo(t float64) {
+	if t > n.now {
+		n.now = t
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func lowestBit(x int) int {
+	if x == 0 {
+		panic("simnet: lowestBit(0)")
+	}
+	d := 0
+	for x&1 == 0 {
+		x >>= 1
+		d++
+	}
+	return d
+}
+
+func highestBit(x int) int {
+	if x == 0 {
+		panic("simnet: highestBit(0)")
+	}
+	d := -1
+	for x != 0 {
+		x >>= 1
+		d++
+	}
+	return d
+}

@@ -1,0 +1,139 @@
+package simnet
+
+import "fmt"
+
+// Topology selects the machine's interconnect. The paper's analysis is
+// hypercube-centric, but Section 3.2 observes that Cannon's
+// shift-multiply-add phase "has the same performance on 2-D tori and
+// hypercubes"; the torus topology makes that comparison runnable.
+type Topology int
+
+const (
+	// Hypercube is the paper's 2-ary n-cube (the default).
+	Hypercube Topology = iota
+	// Torus2D is a Q x Q wraparound mesh with P = Q^2 nodes addressed
+	// row-major (node = i*Q + j). Each node has four links (+x, -x,
+	// +y, -y); a multi-port node drives all four at once. Multi-hop
+	// transfers route x-first with shortest wrap direction.
+	Torus2D
+)
+
+// String implements fmt.Stringer.
+func (t Topology) String() string {
+	switch t {
+	case Hypercube:
+		return "hypercube"
+	case Torus2D:
+		return "2-D torus"
+	default:
+		return fmt.Sprintf("Topology(%d)", int(t))
+	}
+}
+
+// Torus direction port indices.
+const (
+	torusXPlus = iota
+	torusXMinus
+	torusYPlus
+	torusYMinus
+	torusPorts
+)
+
+// TorusCoords splits a row-major torus address into (i, j).
+func TorusCoords(node, q int) (i, j int) { return node / q, node % q }
+
+// TorusNode builds a row-major torus address from (i, j), wrapping
+// negative or overflowing coordinates.
+func TorusNode(i, j, q int) int {
+	i, j = ((i%q)+q)%q, ((j%q)+q)%q
+	return i*q + j
+}
+
+// torusDelta returns the signed shortest displacement from a to b on a
+// ring of q positions (positive = increasing coordinate).
+func torusDelta(a, b, q int) int {
+	d := ((b-a)%q + q) % q
+	if d > q/2 {
+		d -= q
+	}
+	return d
+}
+
+// torusHops returns the wrap-shortest Manhattan distance.
+func (m *Machine) torusHops(src, dst int) int {
+	si, sj := TorusCoords(src, m.torusQ)
+	di, dj := TorusCoords(dst, m.torusQ)
+	return abs(torusDelta(si, di, m.torusQ)) + abs(torusDelta(sj, dj, m.torusQ))
+}
+
+// torusOutPort returns the first-hop direction of the x-first route.
+func (m *Machine) torusOutPort(src, dst int) int {
+	si, sj := TorusCoords(src, m.torusQ)
+	di, dj := TorusCoords(dst, m.torusQ)
+	if d := torusDelta(sj, dj, m.torusQ); d != 0 { // x leg first (column coordinate)
+		if d > 0 {
+			return torusXPlus
+		}
+		return torusXMinus
+	}
+	if d := torusDelta(si, di, m.torusQ); d > 0 {
+		return torusYPlus
+	}
+	return torusYMinus
+}
+
+// torusInPort returns the last-hop direction (the y leg if any).
+func (m *Machine) torusInPort(src, dst int) int {
+	si, sj := TorusCoords(src, m.torusQ)
+	di, dj := TorusCoords(dst, m.torusQ)
+	if d := torusDelta(si, di, m.torusQ); d != 0 {
+		if d > 0 {
+			return torusYPlus
+		}
+		return torusYMinus
+	}
+	if d := torusDelta(sj, dj, m.torusQ); d > 0 {
+		return torusXPlus
+	}
+	return torusXMinus
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// hops returns the routing distance between two nodes under the
+// machine's topology.
+func (m *Machine) hops(src, dst int) int {
+	if m.Cfg.Topology == Torus2D {
+		return m.torusHops(src, dst)
+	}
+	return m.Cube.Hops(src, dst)
+}
+
+// outPort returns the sender-side port index of a transfer.
+func (m *Machine) outPort(src, dst int) int {
+	if m.Cfg.Topology == Torus2D {
+		return m.torusOutPort(src, dst)
+	}
+	return lowestBit(src ^ dst)
+}
+
+// inPort returns the receiver-side port index of a transfer.
+func (m *Machine) inPort(src, dst int) int {
+	if m.Cfg.Topology == Torus2D {
+		return m.torusInPort(src, dst)
+	}
+	return highestBit(src ^ dst)
+}
+
+// numPorts returns the number of per-node link ports.
+func (m *Machine) numPorts() int {
+	if m.Cfg.Topology == Torus2D {
+		return torusPorts
+	}
+	return m.Cube.Dim
+}

@@ -1,0 +1,38 @@
+package hypermm
+
+import (
+	"hypermm/internal/trace"
+)
+
+// Trace is the recorded event timeline of a traced run.
+type Trace struct {
+	log *trace.Log
+}
+
+// RunTraced is Run with event tracing enabled: every send, receive and
+// compute span is recorded in simulated time. Tracing does not change
+// the simulated clocks.
+func RunTraced(alg Algorithm, cfg Config, A, B *Matrix) (*Result, *Trace, error) {
+	m, err := newMachine(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	log := trace.New()
+	m.Cfg.Trace = log
+	c, rs, err := alg.runner()(m, A.internal(), B.internal())
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Result{C: fromInternal(c), Elapsed: rs.Elapsed, Comm: commStats(rs)}, &Trace{log: log}, nil
+}
+
+// Gantt renders the timeline as one text row per node, width columns
+// wide ('#' compute, 's' send, 'r' receive, '.' idle).
+func (t *Trace) Gantt(width int) string { return t.log.Gantt(width) }
+
+// Summary returns per-node busy-time totals and the overall
+// compute/communication split.
+func (t *Trace) Summary() string { return t.log.Summary() }
+
+// Events returns the number of recorded events.
+func (t *Trace) Events() int { return t.log.Len() }
