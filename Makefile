@@ -1,0 +1,39 @@
+# Tier-1 gate: everything `make check` runs must stay green. CI and
+# pre-merge verification use this target verbatim.
+
+GO ?= go
+
+.PHONY: check build test race vet fuzz chaos clean
+
+check: vet test race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Short fuzz pass over the collective and matrix targets (seed corpus +
+# 10s of exploration each); not part of check, run before touching the
+# collectives.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test ./internal/collective -run XXX -fuzz FuzzAllGatherShapes -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/collective -run XXX -fuzz FuzzAllToAllShapes -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/collective -run XXX -fuzz FuzzReduceShapes -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/collective -run XXX -fuzz FuzzReduceScatterShapes -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/matrix -run XXX -fuzz FuzzGridBlockRoundTrip -fuzztime $(FUZZTIME)
+
+# Differential verification harness under fault injection; deterministic
+# for a fixed -seed.
+chaos:
+	$(GO) run ./cmd/chaos -seed 1 -cases 12
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,139 @@
+// Command chaos is the differential verification harness: it samples
+// random (n, p, port model, fault plan) tuples from a fixed seed, runs
+// every applicable algorithm on each, cross-checks the products against
+// the serial kernel and against each other, and — on clean cases —
+// reconciles the measured communication counters with the paper's
+// Table 2 analytic model.
+//
+// All sampling and all simulated clocks derive from -seed, so two
+// invocations with the same flags print byte-identical transcripts and
+// verdicts. The sampled mix always includes at least one clean case, one
+// light plan that the retry protocol must recover from, and one hostile
+// plan (a permanent outage with a tiny retry budget) that must surface a
+// typed ErrLinkDown — never a hang, panic, or wrong product.
+//
+// Usage:
+//
+//	chaos -seed 1 -cases 12
+//
+// Exits 0 when every case passes, 1 otherwise.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"hypermm"
+	"hypermm/internal/verify"
+)
+
+// plan kinds cycled through the sampled cases.
+const (
+	planClean = iota
+	planLight
+	planMessy
+	planHostile
+	planKinds
+)
+
+func samplePlan(kind int, rng *rand.Rand) *hypermm.FaultPlan {
+	switch kind {
+	case planLight:
+		// Low drop rate, generous budget: every algorithm must recover.
+		return &hypermm.FaultPlan{
+			Seed:       rng.Uint64(),
+			Drop:       0.03 + 0.09*rng.Float64(),
+			MaxRetries: 40,
+		}
+	case planMessy:
+		// Drops, duplicates and delays together.
+		return &hypermm.FaultPlan{
+			Seed:       rng.Uint64(),
+			Drop:       0.05 + 0.05*rng.Float64(),
+			Dup:        0.1 * rng.Float64(),
+			DelayProb:  0.2 * rng.Float64(),
+			DelayTime:  1 + 50*rng.Float64(),
+			MaxRetries: 40,
+		}
+	case planHostile:
+		// Permanent total outage with a tiny budget: the first transfer
+		// must exhaust its retries and surface ErrLinkDown.
+		return &hypermm.FaultPlan{
+			Seed:       rng.Uint64(),
+			Down:       []hypermm.Window{{Src: -1, Dst: -1, From: 0, To: hypermm.Forever}},
+			MaxRetries: 1 + rng.Intn(2),
+		}
+	default:
+		return nil
+	}
+}
+
+func sampleCase(i int, rng *rand.Rand) verify.Case {
+	ps := []int{4, 8, 16, 64}
+	ns := []int{16, 24, 32, 48}
+	c := verify.Case{
+		N:     ns[rng.Intn(len(ns))],
+		P:     ps[rng.Intn(len(ps))],
+		Ports: hypermm.PortModel(rng.Intn(2)),
+		Seed:  int64(rng.Intn(1 << 16)),
+		Ts:    150, Tw: 3, Tc: 0.5,
+		Plan: samplePlan(i%planKinds, rng),
+	}
+	if len(verify.Algorithms(c.N, c.P)) == 0 {
+		// 3-D-only cube sizes demand finer divisibility; n=48 always works.
+		c.N = 48
+	}
+	return c
+}
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 1, "master seed; same seed, same transcript and verdict")
+		cases = flag.Int("cases", 8, "number of sampled cases (cycled through clean/light/messy/hostile plans)")
+	)
+	flag.Parse()
+	if *cases < planKinds {
+		fmt.Fprintf(os.Stderr, "chaos: -cases %d too small, need at least %d to cover every plan kind\n", *cases, planKinds)
+		os.Exit(1)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	fail := 0
+	recovered := false // some run retried a lost attempt and still passed
+	faulted := false   // some hostile run surfaced a typed ErrLinkDown
+
+	for i := 0; i < *cases; i++ {
+		c := sampleCase(i, rng)
+		r := verify.Check(c)
+		fmt.Print(r)
+		if !r.OK {
+			fail++
+		}
+		for _, o := range r.Outcomes {
+			if o.Status == verify.OK && o.Retries > 0 {
+				recovered = true
+			}
+			if o.Status == verify.Faulted && errors.Is(o.Err, hypermm.ErrLinkDown) {
+				faulted = true
+			}
+		}
+	}
+
+	// The mix must have exercised both halves of the fault machinery.
+	if !recovered {
+		fmt.Println("chaos: no case recovered through the retry path")
+		fail++
+	}
+	if !faulted {
+		fmt.Println("chaos: no hostile case surfaced ErrLinkDown")
+		fail++
+	}
+	if fail > 0 {
+		fmt.Printf("chaos: FAIL (%d)\n", fail)
+		os.Exit(1)
+	}
+	fmt.Printf("chaos: PASS (%d cases)\n", *cases)
+}

@@ -72,7 +72,8 @@ func table1(N, M int) {
 func table2(n, p int) {
 	fmt.Printf("Table 2: communication overheads at n=%d, p=%d\n", n, p)
 	fmt.Printf("  (time = t_s*a + t_w*b; analytic charges phases sequentially, the\n")
-	fmt.Printf("   emulator pipelines them, so measured <= analytic)\n")
+	fmt.Printf("   emulator pipelines them, so measured b <= analytic on one-port;\n")
+	fmt.Printf("   HJE's unpipelined broadcasts cost extra start-ups — see DESIGN.md §7)\n")
 	for _, pm := range []hypermm.PortModel{hypermm.OnePort, hypermm.MultiPort} {
 		fmt.Printf("-- %v --\n", pm)
 		fmt.Printf("%-22s %12s %14s %12s %14s\n", "algorithm", "a analytic", "b analytic", "a measured", "b measured")

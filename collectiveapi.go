@@ -122,7 +122,10 @@ func MeasuredCollective(c Collective, N, M int, ports PortModel) (a, b float64, 
 	}
 	for i, pair := range [][2]float64{{1, 0}, {0, 1}} {
 		m := simnet.NewMachine(simnet.Config{P: N, Ports: ports.internal(), Ts: pair[0], Tw: pair[1]})
-		rs := m.Run(prog)
+		rs, err := m.RunErr(prog)
+		if err != nil {
+			return 0, 0, err
+		}
 		if i == 0 {
 			a = rs.Elapsed
 		} else {

@@ -91,9 +91,13 @@ func RunCannonTorus(cfg Config, A, B *Matrix) (*Result, error) {
 	if cfg.Ts < 0 || cfg.Tw < 0 || cfg.Tc < 0 {
 		return nil, fmt.Errorf("hypermm: negative cost parameter in %+v", cfg)
 	}
+	if cfg.Deadline < 0 {
+		return nil, fmt.Errorf("hypermm: negative deadline %g", cfg.Deadline)
+	}
 	m := simnet.NewMachine(simnet.Config{
 		P: cfg.P, Ports: cfg.Ports.internal(), Ts: cfg.Ts, Tw: cfg.Tw, Tc: cfg.Tc,
 		Topology: simnet.Torus2D,
+		Faults:   cfg.Faults.internal(), Deadline: cfg.Deadline,
 	})
 	c, rs, err := algorithms.CannonTorus(m, A.internal(), B.internal())
 	if err != nil {

@@ -210,6 +210,16 @@ type Config struct {
 	Ts    float64   // message start-up time (per hop)
 	Tw    float64   // transfer time per word
 	Tc    float64   // compute time per floating-point operation
+
+	// Faults, when non-empty, injects deterministic link failures and
+	// switches every transfer to the acknowledged retry protocol; see
+	// FaultPlan. Run surfaces ErrLinkDown when a transfer exhausts its
+	// retry budget.
+	Faults *FaultPlan
+
+	// Deadline, when positive, bounds the simulated time any node may
+	// consume; Run surfaces ErrDeadline when a node's clock passes it.
+	Deadline float64
 }
 
 // DefaultConfig returns the paper's headline parameter set

@@ -1,6 +1,7 @@
 package hypermm
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -262,7 +263,7 @@ func TestVerificationCatchesCorruptedTransport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m.Cfg.Fault = func(src, dst int, tag uint64, data []float64) {
+	m.Cfg.Corrupt = func(src, dst int, tag uint64, data []float64) {
 		if len(data) > 0 {
 			data[0] += 0.5
 		}
@@ -304,6 +305,31 @@ func TestRunCannonTorusFacade(t *testing.T) {
 	}
 	if _, err := RunCannonTorus(Config{P: -1}, A, B); err == nil {
 		t.Error("accepted negative P")
+	}
+}
+
+func TestRunCannonTorusUnderFaults(t *testing.T) {
+	// The torus facade must honor fault plans and deadlines like Run.
+	A := RandomMatrix(9, 9, 1)
+	B := RandomMatrix(9, 9, 2)
+	cfg := Config{P: 9, Ports: OnePort, Ts: 10, Tw: 1,
+		Faults: &FaultPlan{Seed: 6, Drop: 0.2, MaxRetries: 30}}
+	res, err := RunCannonTorus(cfg, A, B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(A, B, res.C, 1e-9); err != nil {
+		t.Error(err)
+	}
+	if res.Comm.Retries == 0 {
+		t.Error("torus run under 20% drop never retried")
+	}
+	cfg.Faults = &FaultPlan{Seed: 6, Down: []Window{{Src: -1, Dst: -1, From: 0, To: Forever}}, MaxRetries: 1}
+	if _, err := RunCannonTorus(cfg, A, B); !errors.Is(err, ErrLinkDown) {
+		t.Errorf("torus outage: err = %v, want ErrLinkDown", err)
+	}
+	if _, err := RunCannonTorus(Config{P: 9, Deadline: -1}, A, B); err == nil {
+		t.Error("accepted negative deadline")
 	}
 }
 
@@ -390,6 +416,90 @@ func TestMatrixInternalPanicsOnCorruptShape(t *testing.T) {
 		}
 	}()
 	m.At(0, 0)
+}
+
+// TestDifferentialAllAlgorithms is the differential golden test: every
+// algorithm, on every shape its grid embedding admits, on both port
+// models, must reproduce the serial product. The shape lists mirror the
+// runners' preconditions (square mesh, cube grid, HJE's log sqrt(p)
+// strip slicing), so a skip can never hide a regression — an entry that
+// stops running is a test failure, not a skip.
+func TestDifferentialAllAlgorithms(t *testing.T) {
+	meshShapes := [][2]int{{4, 16}, {4, 24}, {16, 16}, {16, 24}, {64, 48}}
+	shapes := map[Algorithm][][2]int{ // {p, n}
+		Simple:  meshShapes,
+		Cannon:  meshShapes,
+		TwoDiag: meshShapes,
+		Fox:     meshShapes,
+		// HJE at p=64 also needs log sqrt(p)=3 to divide n/8.
+		HJE:       {{4, 16}, {4, 24}, {16, 16}, {16, 24}, {64, 24}, {64, 48}},
+		DNS:       {{8, 16}, {8, 24}, {64, 16}, {64, 48}},
+		ThreeDiag: {{8, 16}, {8, 24}, {64, 16}, {64, 48}},
+		Berntsen:  {{8, 16}, {8, 24}, {64, 16}, {64, 48}},
+		AllTrans:  {{8, 16}, {8, 24}, {64, 16}, {64, 48}},
+		ThreeAll:  {{8, 16}, {8, 24}, {64, 16}, {64, 48}},
+	}
+	for _, alg := range Algorithms {
+		if len(shapes[alg]) == 0 {
+			t.Errorf("%v: no differential shapes", alg)
+		}
+	}
+	for _, pm := range []PortModel{OnePort, MultiPort} {
+		for alg, list := range shapes {
+			for _, pn := range list {
+				p, n := pn[0], pn[1]
+				A := RandomMatrix(n, n, int64(97*p+n))
+				B := RandomMatrix(n, n, int64(89*p+n))
+				res, err := Run(alg, Config{P: p, Ports: pm, Ts: 150, Tw: 3, Tc: 0.5}, A, B)
+				if err != nil {
+					t.Errorf("%v %v p=%d n=%d: %v", alg, pm, p, n, err)
+					continue
+				}
+				if err := Verify(A, B, res.C, 1e-9); err != nil {
+					t.Errorf("%v %v p=%d n=%d: %v", alg, pm, p, n, err)
+				}
+			}
+		}
+	}
+}
+
+// TestRunDeterministicUnderFaults is the determinism regression: the
+// same (algorithm, config, seed, fault plan) must reproduce identical
+// simulated clocks and communication counters, run after run — fault
+// decisions may never leak goroutine scheduling into the clock.
+func TestRunDeterministicUnderFaults(t *testing.T) {
+	A := RandomMatrix(24, 24, 1)
+	B := RandomMatrix(24, 24, 2)
+	plans := []*FaultPlan{
+		nil,
+		{Seed: 13, Drop: 0.15, MaxRetries: 30},
+		{Seed: 13, Drop: 0.1, Dup: 0.1, DelayProb: 0.2, DelayTime: 33, MaxRetries: 30},
+	}
+	for _, alg := range []Algorithm{Cannon, ThreeAll} {
+		for pi, plan := range plans {
+			cfg := Config{P: 16, Ports: OnePort, Ts: 150, Tw: 3, Tc: 0.5, Faults: plan}
+			if alg == ThreeAll {
+				cfg.P = 8
+			}
+			var elapsed float64
+			var comm CommStats
+			for run := 0; run < 3; run++ {
+				res, err := Run(alg, cfg, A, B)
+				if err != nil {
+					t.Fatalf("%v plan %d run %d: %v", alg, pi, run, err)
+				}
+				if run == 0 {
+					elapsed, comm = res.Elapsed, res.Comm
+				} else if res.Elapsed != elapsed || res.Comm != comm {
+					t.Fatalf("%v plan %d run %d diverged: (%g, %+v) vs (%g, %+v)",
+						alg, pi, run, res.Elapsed, res.Comm, elapsed, comm)
+				}
+			}
+			if pi > 0 && comm.Retries == 0 {
+				t.Errorf("%v plan %d: fault plan never exercised the retry path", alg, pi)
+			}
+		}
+	}
 }
 
 func TestRunThreeDiagTransFacade(t *testing.T) {

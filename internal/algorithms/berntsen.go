@@ -57,7 +57,7 @@ func Berntsen(m *simnet.Machine, A, B *matrix.Dense) (*matrix.Dense, simnet.RunS
 	}
 
 	out := make([]*matrix.Dense, m.P())
-	stats := m.Run(func(nd *simnet.Node) {
+	stats, err := m.RunErr(func(nd *simnet.Node) {
 		sub, i, j := coords(nd.ID)
 		base := hypercube.Gray(sub) << (2 * dd)
 		rowCh := hypercube.NewChain(base|hypercube.Gray(i)<<dd, dims(0, dd))
@@ -78,6 +78,9 @@ func Berntsen(m *simnet.Machine, A, B *matrix.Dense) (*matrix.Dense, simnet.RunS
 		nd.NoteWords(aIn[nd.ID].Words() + bIn[nd.ID].Words() + o.Words())
 		out[nd.ID] = cross.ReduceScatter(2, pieces)
 	})
+	if err != nil {
+		return nil, stats, err
+	}
 
 	// Collection: C block (i,j) is spread across the subcubes as column
 	// groups.

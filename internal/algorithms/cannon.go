@@ -39,10 +39,13 @@ func Cannon(m *simnet.Machine, A, B *matrix.Dense) (*matrix.Dense, simnet.RunSta
 	}
 
 	out := make([]*matrix.Dense, m.P())
-	stats := m.Run(func(nd *simnet.Node) {
+	stats, err := m.RunErr(func(nd *simnet.Node) {
 		i, j := g.Coords(nd.ID)
 		out[nd.ID] = CannonRun(nd, g.RowChain(i), g.ColChain(j), i, j, q, aIn[nd.ID], bIn[nd.ID], 1)
 	})
+	if err != nil {
+		return nil, stats, err
+	}
 
 	C := matrix.New(n, n)
 	for i := 0; i < q; i++ {

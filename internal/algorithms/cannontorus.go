@@ -45,7 +45,7 @@ func CannonTorus(m *simnet.Machine, A, B *matrix.Dense) (*matrix.Dense, simnet.R
 	}
 
 	out := make([]*matrix.Dense, m.P())
-	stats := m.Run(func(nd *simnet.Node) {
+	stats, err := m.RunErr(func(nd *simnet.Node) {
 		i, j := simnet.TorusCoords(nd.ID, q)
 		a, b := aIn[nd.ID], bIn[nd.ID]
 		tg := func(step, kind int) uint64 { return 1<<20 | uint64(step)<<4 | uint64(kind) }
@@ -72,6 +72,9 @@ func CannonTorus(m *simnet.Machine, A, B *matrix.Dense) (*matrix.Dense, simnet.R
 		}
 		out[nd.ID] = c
 	})
+	if err != nil {
+		return nil, stats, err
+	}
 
 	C := matrix.New(n, n)
 	for i := 0; i < q; i++ {

@@ -37,7 +37,7 @@ func DNS(m *simnet.Machine, A, B *matrix.Dense) (*matrix.Dense, simnet.RunStats,
 	}
 
 	out := make([]*matrix.Dense, m.P())
-	stats := m.Run(func(nd *simnet.Node) {
+	stats, err := m.RunErr(func(nd *simnet.Node) {
 		i, j, k := g.Coords(nd.ID)
 
 		// Phase 1: point-to-point lifts along z.
@@ -69,6 +69,9 @@ func DNS(m *simnet.Machine, A, B *matrix.Dense) (*matrix.Dense, simnet.RunStats,
 			out[nd.ID] = c
 		}
 	})
+	if err != nil {
+		return nil, stats, err
+	}
 
 	C := matrix.New(n, n)
 	for i := 0; i < q; i++ {

@@ -88,7 +88,7 @@ func DNSCannon(m *simnet.Machine, A, B *matrix.Dense, s int) (*matrix.Dense, sim
 	blk := n / (qs * qr) // sub-block edge per mesh processor
 
 	out := make([]*matrix.Dense, p)
-	stats := m.Run(func(nd *simnet.Node) {
+	stats, err := m.RunErr(func(nd *simnet.Node) {
 		I, J, K, i, j := coords(nd.ID)
 		io := intra(i, j)
 
@@ -132,6 +132,9 @@ func DNSCannon(m *simnet.Machine, A, B *matrix.Dense, s int) (*matrix.Dense, sim
 			out[nd.ID] = red
 		}
 	})
+	if err != nil {
+		return nil, stats, err
+	}
 
 	C := matrix.New(n, n)
 	for I := 0; I < qs; I++ {

@@ -41,7 +41,7 @@ func Fox(m *simnet.Machine, A, B *matrix.Dense) (*matrix.Dense, simnet.RunStats,
 	}
 
 	out := make([]*matrix.Dense, m.P())
-	stats := m.Run(func(nd *simnet.Node) {
+	stats, err := m.RunErr(func(nd *simnet.Node) {
 		i, j := g.Coords(nd.ID)
 		rowC := collective.On(nd, g.RowChain(i))
 		colCh := g.ColChain(j)
@@ -67,6 +67,9 @@ func Fox(m *simnet.Machine, A, B *matrix.Dense) (*matrix.Dense, simnet.RunStats,
 		}
 		out[nd.ID] = c
 	})
+	if err != nil {
+		return nil, stats, err
+	}
 
 	C := matrix.New(n, n)
 	for i := 0; i < q; i++ {

@@ -57,7 +57,7 @@ func HJE(m *simnet.Machine, A, B *matrix.Dense) (*matrix.Dense, simnet.RunStats,
 	}
 
 	out := make([]*matrix.Dense, p)
-	stats := m.Run(func(nd *simnet.Node) {
+	stats, err := m.RunErr(func(nd *simnet.Node) {
 		i, j := nd.ID>>dd, nd.ID&(q-1)
 		a, b := aIn[nd.ID], bIn[nd.ID]
 		tg := func(phase, step, kind int) uint64 {
@@ -119,6 +119,9 @@ func HJE(m *simnet.Machine, A, B *matrix.Dense) (*matrix.Dense, simnet.RunStats,
 		}
 		out[nd.ID] = c
 	})
+	if err != nil {
+		return nil, stats, err
+	}
 
 	C := matrix.New(n, n)
 	for i := 0; i < q; i++ {

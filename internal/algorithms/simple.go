@@ -40,7 +40,7 @@ func Simple(m *simnet.Machine, A, B *matrix.Dense) (*matrix.Dense, simnet.RunSta
 	}
 
 	out := make([]*matrix.Dense, m.P())
-	stats := m.Run(func(nd *simnet.Node) {
+	stats, err := m.RunErr(func(nd *simnet.Node) {
 		i, j := g.Coords(nd.ID)
 		rowC := collective.On(nd, g.RowChain(i))
 		colC := collective.On(nd, g.ColChain(j))
@@ -66,6 +66,9 @@ func Simple(m *simnet.Machine, A, B *matrix.Dense) (*matrix.Dense, simnet.RunSta
 		}
 		out[nd.ID] = c
 	})
+	if err != nil {
+		return nil, stats, err
+	}
 
 	C := matrix.New(n, n)
 	for i := 0; i < q; i++ {

@@ -32,11 +32,14 @@ func Transpose2D(m *simnet.Machine, X *matrix.Dense) (*matrix.Dense, simnet.RunS
 	}
 
 	out := make([]*matrix.Dense, m.P())
-	stats := m.Run(func(nd *simnet.Node) {
+	stats, err := m.RunErr(func(nd *simnet.Node) {
 		i, j := g.Coords(nd.ID)
 		nd.SendM(g.Node(j, i), 1, in[nd.ID].Transpose())
 		out[nd.ID] = nd.RecvM(g.Node(j, i), 1)
 	})
+	if err != nil {
+		return nil, stats, err
+	}
 
 	T := matrix.New(n, n)
 	for i := 0; i < q; i++ {

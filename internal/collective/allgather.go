@@ -39,6 +39,7 @@ func (op *AllGatherOp) Steps() int { return op.c.d }
 
 // SendStep implements Op.
 func (op *AllGatherOp) SendStep(s int) {
+	op.c.check()
 	for l := 0; l < op.c.g; l++ {
 		lo, hi := sliceBounds(op.w, op.c.g, l)
 		if lo == hi {

@@ -52,6 +52,7 @@ func (op *AllToAllOp) Steps() int { return op.c.d }
 
 // SendStep implements Op.
 func (op *AllToAllOp) SendStep(s int) {
+	op.c.check()
 	for l := 0; l < op.c.g; l++ {
 		lo, hi := sliceBounds(op.w, op.c.g, l)
 		if lo == hi {

@@ -72,6 +72,7 @@ func (op *BcastOp) Steps() int { return op.c.d }
 
 // SendStep implements Op.
 func (op *BcastOp) SendStep(s int) {
+	op.c.check()
 	for l := 0; l < op.c.g; l++ {
 		lo, hi := sliceBounds(op.w, op.c.g, l)
 		if lo == hi || op.recvStep[l] >= s {

@@ -69,6 +69,14 @@ func (c Comm) Rank() int { return c.rank }
 // Q returns the chain length.
 func (c Comm) Q() int { return c.q }
 
+// check enforces the machine's simulated-time deadline at collective
+// step granularity: every op calls it on entering a send step, so a
+// collective whose node has run out of simulated-time budget fails with
+// a typed ErrDeadline fault between steps even when the overrun came
+// from compute (Send and Recv check again internally for the
+// communication-bound case).
+func (c Comm) check() { c.N.CheckDeadline() }
+
 // bit returns the chain-local bit index used by slice l at step s:
 // the rotated dimension order that lets all slices use distinct
 // physical ports at every step.

@@ -109,6 +109,7 @@ func (op *ScatterOp) Steps() int { return op.c.d }
 
 // SendStep implements Op.
 func (op *ScatterOp) SendStep(s int) {
+	op.c.check()
 	for l := 0; l < op.c.g; l++ {
 		lo, hi := sliceBounds(op.w, op.c.g, l)
 		if lo == hi || op.recvStep[l] >= s {
@@ -214,6 +215,7 @@ func (op *GatherOp) Steps() int { return op.c.d }
 
 // SendStep implements Op.
 func (op *GatherOp) SendStep(s int) {
+	op.c.check()
 	for l := 0; l < op.c.g; l++ {
 		lo, hi := sliceBounds(op.w, op.c.g, l)
 		if lo == hi || op.sendStep[l] != s {

@@ -43,6 +43,7 @@ func (op *ReduceOp) Steps() int { return op.c.d }
 
 // SendStep implements Op.
 func (op *ReduceOp) SendStep(s int) {
+	op.c.check()
 	for l := 0; l < op.c.g; l++ {
 		lo, hi := sliceBounds(op.w, op.c.g, l)
 		if lo == hi || op.sendStep[l] != s {
@@ -131,6 +132,7 @@ func (op *ReduceScatterOp) Steps() int { return op.c.d }
 
 // SendStep implements Op.
 func (op *ReduceScatterOp) SendStep(s int) {
+	op.c.check()
 	for l := 0; l < op.c.g; l++ {
 		lo, hi := sliceBounds(op.w, op.c.g, l)
 		if lo == hi {

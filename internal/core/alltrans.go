@@ -49,7 +49,7 @@ func AllTrans(m *simnet.Machine, A, B *matrix.Dense) (*matrix.Dense, simnet.RunS
 	}
 
 	out := make([]*matrix.Dense, m.P())
-	stats := m.Run(func(nd *simnet.Node) {
+	stats, err := m.RunErr(func(nd *simnet.Node) {
 		i, j, k := g.Coords(nd.ID)
 		xc := collective.On(nd, g.XChain(j, k))
 
@@ -89,6 +89,9 @@ func AllTrans(m *simnet.Machine, A, B *matrix.Dense) (*matrix.Dense, simnet.RunS
 		}
 		out[nd.ID] = collective.On(nd, g.YChain(i, k)).ReduceScatter(4, pieces)
 	})
+	if err != nil {
+		return nil, stats, err
+	}
 
 	C := matrix.New(n, n)
 	for i := 0; i < q; i++ {

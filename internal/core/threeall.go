@@ -79,7 +79,7 @@ func ThreeAllRepeated(m *simnet.Machine, A *matrix.Dense, rounds int) (*matrix.D
 	}
 
 	out := make([]*matrix.Dense, m.P())
-	stats := m.Run(func(nd *simnet.Node) {
+	stats, err := m.RunErr(func(nd *simnet.Node) {
 		x := in[nd.ID]
 		for r := 0; r < rounds; r++ {
 			// A and B are the same distributed matrix: squaring.
@@ -87,6 +87,9 @@ func ThreeAllRepeated(m *simnet.Machine, A *matrix.Dense, rounds int) (*matrix.D
 		}
 		out[nd.ID] = x
 	})
+	if err != nil {
+		return nil, stats, err
+	}
 
 	C := matrix.New(n, n)
 	for i := 0; i < q; i++ {

@@ -115,9 +115,12 @@ func ThreeAllGrid(m *simnet.Machine, A, B *matrix.Dense, qy int) (*matrix.Dense,
 	}
 
 	out := make([]*matrix.Dense, m.P())
-	stats := m.Run(func(nd *simnet.Node) {
+	stats, err := m.RunErr(func(nd *simnet.Node) {
 		out[nd.ID] = threeAllGridRound(nd, g, aIn[nd.ID], bIn[nd.ID], 0)
 	})
+	if err != nil {
+		return nil, stats, err
+	}
 
 	C := matrix.New(n, n)
 	for i := 0; i < Q; i++ {

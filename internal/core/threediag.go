@@ -48,7 +48,7 @@ func ThreeDiag(m *simnet.Machine, A, B *matrix.Dense) (*matrix.Dense, simnet.Run
 	}
 
 	out := make([]*matrix.Dense, m.P())
-	stats := m.Run(func(nd *simnet.Node) {
+	stats, err := m.RunErr(func(nd *simnet.Node) {
 		i, j, k := g.Coords(nd.ID)
 
 		// Phase 1: diagonal plane forwards B_{k,i} to p_{i,k,k}
@@ -78,6 +78,9 @@ func ThreeDiag(m *simnet.Machine, A, B *matrix.Dense) (*matrix.Dense, simnet.Run
 			out[nd.ID] = c // C_{k,i}
 		}
 	})
+	if err != nil {
+		return nil, stats, err
+	}
 
 	C := matrix.New(n, n)
 	for i := 0; i < q; i++ {

@@ -85,7 +85,7 @@ func ThreeDiagCannon(m *simnet.Machine, A, B *matrix.Dense, s int) (*matrix.Dens
 	blk := n / (qs * qr)
 
 	out := make([]*matrix.Dense, p)
-	stats := m.Run(func(nd *simnet.Node) {
+	stats, err := m.RunErr(func(nd *simnet.Node) {
 		I, J, K, i, j := coords(nd.ID)
 		io := intra(i, j)
 
@@ -123,6 +123,9 @@ func ThreeDiagCannon(m *simnet.Machine, A, B *matrix.Dense, s int) (*matrix.Dens
 			out[nd.ID] = red // sub-block of C_{K,I}
 		}
 	})
+	if err != nil {
+		return nil, stats, err
+	}
 
 	C := matrix.New(n, n)
 	for I := 0; I < qs; I++ {

@@ -45,7 +45,7 @@ func ThreeDiagTrans(m *simnet.Machine, A, B *matrix.Dense) (*matrix.Dense, simne
 	}
 
 	out := make([]*matrix.Dense, m.P())
-	stats := m.Run(func(nd *simnet.Node) {
+	stats, err := m.RunErr(func(nd *simnet.Node) {
 		i, j, k := g.Coords(nd.ID)
 
 		// Phase 1: point-to-point along x: B_{i,k} from p_{i,i,k} to
@@ -78,6 +78,9 @@ func ThreeDiagTrans(m *simnet.Machine, A, B *matrix.Dense) (*matrix.Dense, simne
 			out[nd.ID] = c // C_{k,i}, aligned like A (not like B)
 		}
 	})
+	if err != nil {
+		return nil, stats, err
+	}
 
 	C := matrix.New(n, n)
 	for i := 0; i < q; i++ {

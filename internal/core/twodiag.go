@@ -41,7 +41,7 @@ func TwoDiag(m *simnet.Machine, A, B *matrix.Dense) (*matrix.Dense, simnet.RunSt
 	}
 
 	out := make([]*matrix.Dense, m.P())
-	stats := m.Run(func(nd *simnet.Node) {
+	stats, err := m.RunErr(func(nd *simnet.Node) {
 		i, j := g.Coords(nd.ID)
 		col := collective.On(nd, g.ColChain(j))
 
@@ -71,6 +71,9 @@ func TwoDiag(m *simnet.Machine, A, B *matrix.Dense) (*matrix.Dense, simnet.RunSt
 			out[nd.ID] = c // column group i of C
 		}
 	})
+	if err != nil {
+		return nil, stats, err
+	}
 
 	cols := make([]*matrix.Dense, q)
 	for j := 0; j < q; j++ {

@@ -4,7 +4,11 @@ import "sync"
 
 // barrier is a reusable cyclic barrier that also aligns logical clocks:
 // every participant leaves with its clock advanced to the maximum over
-// all participants at entry.
+// all participants at entry. A run that fails part-way breaks the
+// barrier (abort) so waiters back out with a typed fault instead of
+// blocking forever, and the next run re-arms it (reset) so a dirty
+// generation — nonzero arrival count from an aborted run — cannot leak
+// into the next one.
 type barrier struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -13,6 +17,7 @@ type barrier struct {
 	gen     uint64
 	maxNow  float64
 	release float64
+	broken  bool
 }
 
 func newBarrier(parties int) *barrier {
@@ -22,10 +27,15 @@ func newBarrier(parties int) *barrier {
 }
 
 // await enters the barrier with the caller's clock and returns the
-// aligned (maximum) clock once all parties have arrived.
-func (b *barrier) await(now float64) float64 {
+// aligned (maximum) clock once all parties have arrived. If the barrier
+// breaks while waiting — a peer failed and the machine aborted the run —
+// await raises a typed ErrAborted fault on the caller.
+func (b *barrier) await(node int, now float64) float64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.broken {
+		panic(&FaultError{Node: node, Op: "barrier", Src: -1, Dst: -1, Err: ErrAborted})
+	}
 	if now > b.maxNow {
 		b.maxNow = now
 	}
@@ -39,10 +49,34 @@ func (b *barrier) await(now float64) float64 {
 		return b.release
 	}
 	gen := b.gen
-	for gen == b.gen {
+	for gen == b.gen && !b.broken {
 		b.cond.Wait()
 	}
+	if b.broken {
+		panic(&FaultError{Node: node, Op: "barrier", Src: -1, Dst: -1, Err: ErrAborted})
+	}
 	return b.release
+}
+
+// abort breaks the barrier, releasing every waiter with a fault.
+func (b *barrier) abort() {
+	b.mu.Lock()
+	b.broken = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// reset re-arms the barrier for a fresh run, clearing any generation
+// state an aborted run left behind. Callers must guarantee no waiter is
+// still parked inside (Machine.RunErr does: it resets only after every
+// node goroutine of the previous run has returned).
+func (b *barrier) reset() {
+	b.mu.Lock()
+	b.broken = false
+	b.count = 0
+	b.maxNow = 0
+	b.gen++
+	b.mu.Unlock()
 }
 
 // Barrier synchronizes all nodes of the machine at zero simulated cost
@@ -51,7 +85,8 @@ func (b *barrier) await(now float64) float64 {
 // which is measured honestly — but callers who want the paper's
 // strictly sequential phase accounting can insert barriers between
 // phases. Every node of the machine must call Barrier the same number
-// of times or the program deadlocks.
+// of times or the program deadlocks. If the run aborts (a peer raised a
+// typed fault), Barrier backs out with a typed ErrAborted fault.
 func (n *Node) Barrier() {
-	n.now = n.m.bar.await(n.now)
+	n.now = n.m.bar.await(n.ID, n.now)
 }

@@ -29,6 +29,7 @@
 package simnet
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -83,11 +84,23 @@ type Config struct {
 	// 2-D torus supports neighbor-structured algorithms like Cannon's.
 	Topology Topology
 
-	// Fault, when non-nil, is invoked on every message as it is
+	// Corrupt, when non-nil, is invoked on every message as it is
 	// submitted to the network and may mutate the payload — a failure
 	// injection hook for testing that end-to-end verification catches
 	// corrupted transfers. It must be safe for concurrent use.
-	Fault func(src, dst int, tag uint64, data []float64)
+	Corrupt func(src, dst int, tag uint64, data []float64)
+
+	// Faults, when non-empty, injects deterministic link failures
+	// (drops, duplications, delays, link-down windows) and switches
+	// every transfer to the acknowledged retry protocol of fault.go.
+	// A nil or empty plan leaves the machine on its exact fault-free
+	// path.
+	Faults *FaultPlan
+
+	// Deadline, when positive, bounds the simulated time a node program
+	// may consume; a node whose clock passes it fails with ErrDeadline
+	// at its next send, receive or collective step.
+	Deadline float64
 }
 
 // Msg is a delivered message.
@@ -98,6 +111,8 @@ type Msg struct {
 	Rows, Cols int // optional shape for matrix payloads (0 if raw)
 
 	depart float64 // sender port start time
+	delay  float64 // injected extra in-flight latency
+	dup    bool    // injected duplicate: payload arrives twice
 	hops   int
 	inDim  int // receiver-side port dimension (highest differing bit)
 }
@@ -121,11 +136,19 @@ type Machine struct {
 	torusQ int            // side length for the Torus2D topology
 	nodes  []*Node
 	bar    *barrier
+
+	// Abort machinery: the first node to fail records its fault and
+	// closes down, releasing every node blocked in a receive, a
+	// back-pressured send, or the barrier.
+	down     chan struct{}
+	downOnce sync.Once
+	failMu   sync.Mutex
+	failErr  error
 }
 
 // NewMachine builds a machine with cfg.P processor nodes.
 func NewMachine(cfg Config) *Machine {
-	m := &Machine{Cfg: cfg, nodes: make([]*Node, cfg.P), bar: newBarrier(cfg.P)}
+	m := &Machine{Cfg: cfg, nodes: make([]*Node, cfg.P), bar: newBarrier(cfg.P), down: make(chan struct{})}
 	switch cfg.Topology {
 	case Torus2D:
 		q := intSqrt(cfg.P)
@@ -176,6 +199,7 @@ type NodeStats struct {
 	Startups  int64   // per-hop start-ups charged to this sender
 	WordHops  int64   // payload words times hops
 	Flops     int64   // floating-point operations executed
+	Retries   int64   // lost transmission attempts recovered by retry
 	PeakWords int     // largest NoteWords() observation (space accounting)
 }
 
@@ -187,6 +211,7 @@ type RunStats struct {
 	TotalStartups int64
 	TotalWordHops int64
 	TotalFlops    int64
+	TotalRetries  int64
 	TotalPeak     int // sum over nodes of PeakWords: aggregate space
 	MaxPeak       int // largest single-node PeakWords
 	Nodes         []NodeStats
@@ -194,10 +219,36 @@ type RunStats struct {
 
 // Run executes program on every node concurrently (SPMD) and returns
 // aggregated statistics once all node programs have returned. A node
-// panic is re-raised on the caller with the node id attached.
+// panic — including a typed fault — is re-raised on the caller with the
+// node id attached. Programs that may run under a fault plan or a
+// deadline should call RunErr instead.
 func (m *Machine) Run(program func(n *Node)) RunStats {
+	rs, err := m.RunErr(program)
+	if err != nil {
+		panic("simnet: " + err.Error())
+	}
+	return rs
+}
+
+// RunErr executes program on every node concurrently (SPMD) and returns
+// aggregated statistics once all node programs have returned. A typed
+// fault raised by any node (ErrLinkDown, ErrDeadline) aborts the run:
+// every other node is released from its blocking operation, and the
+// originating fault is returned as an error that errors.Is can match.
+// Any other node panic is re-raised with the node id attached.
+func (m *Machine) RunErr(program func(n *Node)) (RunStats, error) {
 	var wg sync.WaitGroup
 	panics := make(chan string, len(m.nodes))
+	// Arm the abort machinery for this run. Node goroutines observe
+	// these writes through the happens-before edge of their spawn.
+	m.down = make(chan struct{})
+	m.downOnce = sync.Once{}
+	m.failMu.Lock()
+	m.failErr = nil
+	m.failMu.Unlock()
+	// Re-arm the barrier: a previous aborted run may have left it
+	// broken or mid-generation with a nonzero arrival count.
+	m.bar.reset()
 	// Reset every node before spawning any program goroutine: a node
 	// spawned early may deliver its first messages to a peer whose
 	// reset has not happened yet, and reset drains the inbox — the
@@ -211,9 +262,18 @@ func (m *Machine) Run(program func(n *Node)) RunStats {
 		go func(n *Node) {
 			defer wg.Done()
 			defer func() {
-				if r := recover(); r != nil {
+				r := recover()
+				if r == nil {
+					return
+				}
+				if fe, ok := r.(*FaultError); ok {
+					m.recordFault(fe)
+				} else {
 					panics <- fmt.Sprintf("node %d: %v", n.ID, r)
 				}
+				// Release peers blocked in receives, back-pressured
+				// sends, or the barrier so wg.Wait terminates.
+				m.abort()
 			}()
 			program(n)
 		}(n)
@@ -224,7 +284,41 @@ func (m *Machine) Run(program func(n *Node)) RunStats {
 		panic("simnet: " + p)
 	default:
 	}
-	return m.collect()
+	m.failMu.Lock()
+	err := m.failErr
+	m.failMu.Unlock()
+	if err != nil {
+		return RunStats{}, err
+	}
+	return m.collect(), nil
+}
+
+// abort releases every node blocked in a receive, a back-pressured send
+// or the barrier. Idempotent.
+func (m *Machine) abort() {
+	m.downOnce.Do(func() {
+		close(m.down)
+		m.bar.abort()
+	})
+}
+
+// recordFault keeps the most informative fault: an originating failure
+// wins over the ErrAborted cascade it triggers on the other nodes, and
+// among concurrent originating failures the lowest node ID wins — a
+// deterministic tie-break, so the surfaced error does not depend on
+// goroutine scheduling when many nodes fail in the same instant.
+func (m *Machine) recordFault(fe *FaultError) {
+	m.failMu.Lock()
+	defer m.failMu.Unlock()
+	cur, _ := m.failErr.(*FaultError)
+	switch {
+	case cur == nil:
+		m.failErr = fe
+	case errors.Is(cur.Err, ErrAborted) && !errors.Is(fe.Err, ErrAborted):
+		m.failErr = fe
+	case errors.Is(cur.Err, ErrAborted) == errors.Is(fe.Err, ErrAborted) && fe.Node < cur.Node:
+		m.failErr = fe
+	}
 }
 
 func (m *Machine) collect() RunStats {
@@ -234,7 +328,7 @@ func (m *Machine) collect() RunStats {
 		s := NodeStats{
 			ID: n.ID, Clock: n.now, Msgs: n.msgs, Words: n.words,
 			Startups: n.startups, WordHops: n.wordHops, Flops: n.flops,
-			PeakWords: n.peakWords,
+			Retries: n.retries, PeakWords: n.peakWords,
 		}
 		rs.Nodes[i] = s
 		if s.Clock > rs.Elapsed {
@@ -245,6 +339,7 @@ func (m *Machine) collect() RunStats {
 		rs.TotalStartups += s.Startups
 		rs.TotalWordHops += s.WordHops
 		rs.TotalFlops += s.Flops
+		rs.TotalRetries += s.Retries
 		rs.TotalPeak += s.PeakWords
 		if s.PeakWords > rs.MaxPeak {
 			rs.MaxPeak = s.PeakWords
@@ -268,8 +363,8 @@ type Node struct {
 	inbox   chan *Msg
 	pending []*Msg
 
-	msgs, words, startups, wordHops, flops int64
-	peakWords                              int
+	msgs, words, startups, wordHops, flops, retries int64
+	peakWords                                       int
 
 	// Diagnostic state, written before blocking in match and read
 	// (racily, diagnostics only) by Machine.Diagnose.
@@ -288,7 +383,7 @@ func (n *Node) reset() {
 		select {
 		case <-n.inbox:
 		default:
-			n.msgs, n.words, n.startups, n.wordHops, n.flops = 0, 0, 0, 0, 0
+			n.msgs, n.words, n.startups, n.wordHops, n.flops, n.retries = 0, 0, 0, 0, 0, 0
 			n.peakWords = 0
 			return
 		}
@@ -341,10 +436,11 @@ func (n *Node) sendShaped(dst int, tag uint64, data []float64, rows, cols int) {
 	if dst < 0 || dst >= n.m.Cfg.P {
 		panic(fmt.Sprintf("simnet: send to node %d out of range [0,%d)", dst, n.m.Cfg.P))
 	}
+	n.CheckDeadline()
 	cp := make([]float64, len(data))
 	copy(cp, data)
 	msg := &Msg{Src: n.ID, Dst: dst, Tag: tag, Data: cp, Rows: rows, Cols: cols}
-	if f := n.m.Cfg.Fault; f != nil && dst != n.ID {
+	if f := n.m.Cfg.Corrupt; f != nil && dst != n.ID {
 		f(n.ID, dst, tag, cp)
 	}
 	if dst == n.ID {
@@ -356,6 +452,11 @@ func (n *Node) sendShaped(dst int, tag uint64, data []float64, rows, cols int) {
 	outDim := n.m.outPort(n.ID, dst)
 	msg.inDim = n.m.inPort(n.ID, dst)
 	c := n.cost(len(data), msg.hops)
+
+	if fp := n.m.Cfg.Faults; fp.active() {
+		n.sendReliable(fp, msg, outDim, c)
+		return
+	}
 
 	var start float64
 	switch n.m.Cfg.Ports {
@@ -381,13 +482,93 @@ func (n *Node) sendShaped(dst int, tag uint64, data []float64, rows, cols int) {
 	n.startups += int64(msg.hops)
 	n.wordHops += int64(len(data) * msg.hops)
 
-	n.m.nodes[dst].inbox <- msg
+	n.deliver(msg)
+}
+
+// sendReliable is the acknowledged transfer of the fault-injection
+// protocol: every attempt transmits the payload; a lost attempt charges
+// the ack timeout plus exponential backoff before the retransmission;
+// the delivered attempt charges the one-word ack's return trip. The
+// retry budget exhausting raises a typed ErrLinkDown fault.
+func (n *Node) sendReliable(fp *FaultPlan, msg *Msg, outDim int, c float64) {
+	ackC := n.cost(1, msg.hops)
+	maxR := fp.maxRetries()
+	for attempt := 0; ; attempt++ {
+		var start float64
+		if n.m.Cfg.Ports == OnePort {
+			start = maxf(n.now, n.sendBusy)
+		} else {
+			start = maxf(n.now, n.sendPort[outDim])
+		}
+		drop, dup, delay := fp.decide(n.ID, msg.Dst, msg.Tag, attempt, start)
+		// The attempt put the payload on the wire either way.
+		n.msgs++
+		n.words += int64(len(msg.Data))
+		n.startups += int64(msg.hops)
+		n.wordHops += int64(len(msg.Data) * msg.hops)
+		if tr := n.m.Cfg.Trace; tr != nil {
+			tr.Add(trace.Event{Node: n.ID, Kind: trace.Send, Start: start, End: start + c, Peer: msg.Dst, Words: len(msg.Data), Tag: msg.Tag})
+		}
+		if !drop {
+			// Delivered: the sender holds the port until the ack is in
+			// hand — data transfer, injected latency, one-word ack back.
+			n.occupySend(outDim, start+c+delay+ackC)
+			n.msgs++
+			n.words++
+			n.startups += int64(msg.hops)
+			n.wordHops += int64(msg.hops)
+			if dup {
+				// The network duplicated the payload in flight: count
+				// the extra copy here (sender counters are the only
+				// goroutine-safe home); the receiver charges its port.
+				n.msgs++
+				n.words += int64(len(msg.Data))
+				n.startups += int64(msg.hops)
+				n.wordHops += int64(len(msg.Data) * msg.hops)
+			}
+			msg.depart = start
+			msg.delay = delay
+			msg.dup = dup
+			n.deliver(msg)
+			return
+		}
+		// Lost: wait out the ack timeout, back off, retransmit.
+		n.retries++
+		n.occupySend(outDim, start+c+fp.ackTimeout(c+ackC)+fp.backoff(n.m.Cfg.Ts, attempt))
+		if attempt >= maxR {
+			panic(&FaultError{Node: n.ID, Op: "send", Src: n.ID, Dst: msg.Dst, Tag: msg.Tag, Attempts: attempt + 1, Err: ErrLinkDown})
+		}
+		n.CheckDeadline()
+	}
+}
+
+// occupySend marks the outgoing path busy until t: the node clock for a
+// one-port machine, the dimension's port for a multi-port one.
+func (n *Node) occupySend(outDim int, t float64) {
+	if n.m.Cfg.Ports == OnePort {
+		n.sendBusy = t
+		n.now = t
+	} else {
+		n.sendPort[outDim] = t
+	}
+}
+
+// deliver hands the message to the destination inbox, backing out with a
+// typed abort fault if the run is torn down while blocked on
+// back-pressure.
+func (n *Node) deliver(msg *Msg) {
+	select {
+	case n.m.nodes[msg.Dst].inbox <- msg:
+	case <-n.m.down:
+		panic(n.abortFault("send", n.ID, msg.Dst, msg.Tag))
+	}
 }
 
 // Recv blocks until the message with the given source and tag arrives,
 // charges the receive-port occupancy, and advances the node clock to
 // the arrival time (the data dependency).
 func (n *Node) Recv(src int, tag uint64) *Msg {
+	n.CheckDeadline()
 	msg := n.match(src, tag)
 	if msg.Src == n.ID { // self-delivery is free
 		if msg.depart > n.now {
@@ -396,16 +577,25 @@ func (n *Node) Recv(src int, tag uint64) *Msg {
 		return msg
 	}
 	c := n.cost(len(msg.Data), msg.hops)
+	dep := msg.depart + msg.delay // injected latency shifts the arrival
 	var arrival float64
 	switch n.m.Cfg.Ports {
 	case OnePort:
-		start := maxf(msg.depart, n.recvBusy)
+		start := maxf(dep, n.recvBusy)
 		arrival = start + c
 		n.recvBusy = arrival
+		if msg.dup {
+			// The duplicate occupies the receive port for a second
+			// transfer; the data dependency is met by the first copy.
+			n.recvBusy += c
+		}
 	case MultiPort:
-		start := maxf(msg.depart, n.recvPort[msg.inDim])
+		start := maxf(dep, n.recvPort[msg.inDim])
 		arrival = start + c
 		n.recvPort[msg.inDim] = arrival
+		if msg.dup {
+			n.recvPort[msg.inDim] += c
+		}
 	}
 	if tr := n.m.Cfg.Trace; tr != nil {
 		tr.Add(trace.Event{Node: n.ID, Kind: trace.Recv, Start: arrival - c, End: arrival, Peer: msg.Src, Words: len(msg.Data), Tag: tag})
@@ -434,11 +624,17 @@ func (n *Node) match(src int, tag uint64) *Msg {
 	n.waiting.Store(true)
 	defer n.waiting.Store(false)
 	for {
-		msg := <-n.inbox
-		if msg.Src == src && msg.Tag == tag {
-			return msg
+		select {
+		case msg := <-n.inbox:
+			if msg.Src == src && msg.Tag == tag {
+				return msg
+			}
+			n.pending = append(n.pending, msg)
+		case <-n.m.down:
+			// The run is being torn down because a peer failed: back
+			// out instead of blocking on a message that will never come.
+			panic(n.abortFault("recv", src, n.ID, tag))
 		}
-		n.pending = append(n.pending, msg)
 	}
 }
 

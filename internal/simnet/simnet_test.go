@@ -394,7 +394,7 @@ func TestFaultInjection(t *testing.T) {
 	// the corruption (this is how the end-to-end verification tests
 	// prove they would catch a broken transport).
 	cfg := Config{P: 2, Ports: OnePort, Ts: 1, Tw: 1}
-	cfg.Fault = func(src, dst int, tag uint64, data []float64) {
+	cfg.Corrupt = func(src, dst int, tag uint64, data []float64) {
 		if len(data) > 0 {
 			data[0] += 1000
 		}
@@ -414,7 +414,7 @@ func TestFaultInjection(t *testing.T) {
 
 func TestFaultNotAppliedToSelfSends(t *testing.T) {
 	cfg := Config{P: 2, Ports: OnePort}
-	cfg.Fault = func(src, dst int, tag uint64, data []float64) { data[0] = -1 }
+	cfg.Corrupt = func(src, dst int, tag uint64, data []float64) { data[0] = -1 }
 	m := NewMachine(cfg)
 	m.Run(func(n *Node) {
 		n.Send(n.ID, 1, []float64{7})

@@ -1,0 +1,335 @@
+// Package verify is the differential verification harness behind
+// cmd/chaos: for a given (n, p, port model, seed, fault plan) tuple it
+// runs every applicable algorithm, cross-checks each distributed product
+// against the serial kernel and against every other algorithm
+// element-wise, and — when the fault plan is empty — checks that the
+// measured communication overhead still reconciles with the paper's
+// Table 2 analytic model.
+//
+// Everything here is deterministic: the operand matrices come from the
+// case seed, the emulator's clocks are reproducible, and fault decisions
+// are a pure function of the plan seed — so a Report (including
+// simulated clocks) is bit-identical across invocations of the same
+// case.
+package verify
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+
+	"hypermm"
+)
+
+// Case is one verification tuple.
+type Case struct {
+	N, P       int
+	Ports      hypermm.PortModel
+	Seed       int64 // operand content seed
+	Ts, Tw, Tc float64
+	Plan       *hypermm.FaultPlan // nil or empty: clean run + cost reconciliation
+	Deadline   float64            // simulated-time budget (0 = none)
+}
+
+// Status classifies one algorithm's outcome on a case.
+type Status int
+
+const (
+	// OK: ran to completion and matched the serial product.
+	OK Status = iota
+	// Faulted: failed with a typed injected-fault error (ErrLinkDown or
+	// ErrDeadline) — the expected clean failure mode under a hostile
+	// plan, never acceptable on a clean case.
+	Faulted
+	// Failed: wrong product, mismatched counters, or an untyped error.
+	Failed
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case Faulted:
+		return "faulted"
+	case Failed:
+		return "FAILED"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Outcome is one algorithm's result on a case.
+type Outcome struct {
+	Alg     hypermm.Algorithm
+	Status  Status
+	Err     error   // the typed fault or failure cause (nil when OK)
+	Elapsed float64 // simulated makespan (0 when the run errored)
+	Retries int64   // lost attempts recovered by the retry protocol
+	MaxDiff float64 // max |C - serial| (only when the run completed)
+	Note    string  // human-readable detail (reconciliation, fault kind)
+}
+
+// Report is the harness verdict for one case.
+type Report struct {
+	Case      Case
+	Tol       float64 // scale-aware element tolerance used
+	Outcomes  []Outcome
+	CrossDiff float64 // max pairwise element diff between completed algorithms
+	OK        bool    // no Outcome Failed, cross-check within tolerance
+}
+
+// Runnable reports whether the algorithm's grid embedding and block
+// partition exist for an n x n problem on p processors — the shape
+// preconditions the runners enforce, mirrored here so the harness can
+// distinguish "not applicable" from "unexpectedly failed".
+func Runnable(alg hypermm.Algorithm, n, p int) bool {
+	if n <= 0 || p <= 0 || p&(p-1) != 0 {
+		return false
+	}
+	d := bits.Len(uint(p)) - 1
+	switch alg {
+	case hypermm.Simple, hypermm.Cannon, hypermm.HJE, hypermm.TwoDiag, hypermm.Fox:
+		// sqrt(p) x sqrt(p) mesh, blocks of n/sqrt(p).
+		if d%2 != 0 || n%(1<<(d/2)) != 0 {
+			return false
+		}
+		if alg == hypermm.HJE && d > 2 {
+			// HJE additionally slices each block into log sqrt(p) strips.
+			return (n / (1 << (d / 2))) % (d / 2) == 0
+		}
+		return true
+	case hypermm.DNS, hypermm.ThreeDiag:
+		// cbrt(p)^3 grid, blocks of n/cbrt(p).
+		if d%3 != 0 {
+			return false
+		}
+		return n%(1<<(d/3)) == 0
+	case hypermm.Berntsen, hypermm.AllTrans, hypermm.ThreeAll:
+		// cbrt(p)^3 grid with the finer n/cbrt(p)^2 partition.
+		if d%3 != 0 {
+			return false
+		}
+		q := 1 << (d / 3)
+		return n%(q*q) == 0
+	default:
+		return false
+	}
+}
+
+// Algorithms returns every algorithm runnable at (n, p).
+func Algorithms(n, p int) []hypermm.Algorithm {
+	var out []hypermm.Algorithm
+	for _, alg := range hypermm.Algorithms {
+		if Runnable(alg, n, p) {
+			out = append(out, alg)
+		}
+	}
+	return out
+}
+
+// Check runs the case: every runnable algorithm under the plan, each
+// product checked against the serial kernel, all completed products
+// cross-checked pairwise, and — on a clean case — measured communication
+// overhead reconciled against the Table 2 analytic bound.
+func Check(c Case) Report {
+	A := hypermm.RandomMatrix(c.N, c.N, c.Seed*31+1)
+	B := hypermm.RandomMatrix(c.N, c.N, c.Seed*31+2)
+	want := hypermm.MatMul(A, B)
+	r := Report{Case: c, Tol: tolFor(A, B, c.N), OK: true}
+
+	clean := c.Plan == nil || c.Plan.Empty()
+	cfg := hypermm.Config{
+		P: c.P, Ports: c.Ports, Ts: c.Ts, Tw: c.Tw, Tc: c.Tc,
+		Faults: c.Plan, Deadline: c.Deadline,
+	}
+
+	var completed []struct {
+		alg hypermm.Algorithm
+		C   *hypermm.Matrix
+	}
+	for _, alg := range Algorithms(c.N, c.P) {
+		o := Outcome{Alg: alg}
+		res, err := hypermm.Run(alg, cfg, A, B)
+		switch {
+		case err == nil:
+			o.Elapsed = res.Elapsed
+			o.Retries = res.Comm.Retries
+			o.MaxDiff = hypermm.MaxAbsDiff(res.C, want)
+			if o.MaxDiff > r.Tol {
+				o.Status = Failed
+				o.Err = fmt.Errorf("product off by %g (tol %g)", o.MaxDiff, r.Tol)
+			} else if clean {
+				if note, ok := reconcile(alg, c, res); !ok {
+					o.Status = Failed
+					o.Err = errors.New(note)
+				} else {
+					o.Note = note
+				}
+			}
+			if o.Status == OK {
+				completed = append(completed, struct {
+					alg hypermm.Algorithm
+					C   *hypermm.Matrix
+				}{alg, res.C})
+			}
+		case errors.Is(err, hypermm.ErrLinkDown) || errors.Is(err, hypermm.ErrDeadline):
+			o.Err = err
+			if clean {
+				// Typed faults must never fire without injection.
+				o.Status = Failed
+			} else {
+				o.Status = Faulted
+				o.Note = faultKind(err)
+			}
+		default:
+			o.Status = Failed
+			o.Err = err
+		}
+		if o.Status == Failed {
+			r.OK = false
+		}
+		r.Outcomes = append(r.Outcomes, o)
+	}
+
+	// Differential cross-check: every pair of completed products must
+	// agree element-wise within twice the serial tolerance (each side
+	// may deviate from serial by up to Tol in opposite directions).
+	for i := 0; i < len(completed); i++ {
+		for j := i + 1; j < len(completed); j++ {
+			d := hypermm.MaxAbsDiff(completed[i].C, completed[j].C)
+			if d > r.CrossDiff {
+				r.CrossDiff = d
+			}
+			if d > 2*r.Tol {
+				r.OK = false
+				r.Outcomes = append(r.Outcomes, Outcome{
+					Alg:    completed[i].alg,
+					Status: Failed,
+					Err: fmt.Errorf("differs from %v by %g (tol %g)",
+						completed[j].alg, d, 2*r.Tol),
+				})
+			}
+		}
+	}
+	return r
+}
+
+// tolFor is the scale-aware element tolerance: distributed reductions
+// reorder the n-term dot products, so agreement with the serial kernel
+// is within rounding, not bitwise.
+func tolFor(A, B *hypermm.Matrix, n int) float64 {
+	return 1e-13 * float64(n) * maxAbs(A) * maxAbs(B)
+}
+
+func maxAbs(m *hypermm.Matrix) float64 {
+	mx := 0.0
+	for _, v := range m.Data {
+		if v = math.Abs(v); v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// Reconciliation slack against the Table 2 rows. On one-port machines
+// the bandwidth term is tight: the emulator pipelines phases the
+// analysis charges sequentially, so measured b stays at or below
+// analytic. Multi-port rows assume M >= log N so every message splits
+// into log N equal slices; with the small blocks the harness samples
+// the slices go ragged and measured b can exceed analytic by up to 50%
+// (Simple at n=16, p=64: 2x2 blocks cut 6 ways). The start-up term is
+// looser on both models: HJE's broadcasts are not pipelined, so its
+// measured a exceeds the analytic log-term by a factor growing with p
+// (~2.4x at p=64, ~3.4x at p=256); 4x covers every shape the chaos
+// harness samples while still catching a phase run twice.
+const (
+	bandSlackOnePort   = 1 + 1e-9
+	bandSlackMultiPort = 1.6
+	startupSlack       = 4.0
+)
+
+// reconcile checks a clean run's communication against the Table 2
+// analytic model (see the slack constants above for what "against"
+// means per coefficient); with no plan active the run must also not
+// have charged a single retry.
+func reconcile(alg hypermm.Algorithm, c Case, res *hypermm.Result) (string, bool) {
+	if res.Comm.Retries != 0 {
+		return fmt.Sprintf("clean run charged %d retries", res.Comm.Retries), false
+	}
+	aA, bA, ok := hypermm.Overhead(alg, float64(c.N), float64(c.P), c.Ports)
+	if !ok {
+		return "no Table 2 row", true // stepping stones have no analytic row
+	}
+	aM, bM, err := hypermm.MeasuredOverhead(alg, c.P, c.N, c.Ports)
+	if err != nil {
+		return fmt.Sprintf("measuring overhead: %v", err), false
+	}
+	if c.P > 1 && (aM <= 0 || bM <= 0) {
+		return fmt.Sprintf("measured overhead (%g, %g) not positive", aM, bM), false
+	}
+	bandSlack := bandSlackOnePort
+	if c.Ports == hypermm.MultiPort {
+		bandSlack = bandSlackMultiPort
+	}
+	if bM > bA*bandSlack {
+		return fmt.Sprintf("measured bandwidth term %g exceeds analytic %g", bM, bA), false
+	}
+	if aM > aA*startupSlack {
+		return fmt.Sprintf("measured start-up term %g exceeds analytic %g", aM, aA), false
+	}
+	return fmt.Sprintf("overhead (%.6g, %.6g) vs analytic (%.6g, %.6g)", aM, bM, aA, bA), true
+}
+
+func faultKind(err error) string {
+	switch {
+	case errors.Is(err, hypermm.ErrLinkDown):
+		return "link-down"
+	case errors.Is(err, hypermm.ErrDeadline):
+		return "deadline"
+	default:
+		return "fault"
+	}
+}
+
+// String renders the report deterministically — identical cases yield
+// byte-identical text, which cmd/chaos relies on for reproducible
+// transcripts.
+func (r Report) String() string {
+	var sb strings.Builder
+	plan := "clean"
+	if c := r.Case; c.Plan != nil && !c.Plan.Empty() {
+		plan = fmt.Sprintf("plan{seed=%d drop=%g dup=%g delay=%g/%g down=%d retries=%d}",
+			c.Plan.Seed, c.Plan.Drop, c.Plan.Dup, c.Plan.DelayProb, c.Plan.DelayTime,
+			len(c.Plan.Down), c.Plan.MaxRetries)
+	}
+	fmt.Fprintf(&sb, "case n=%d p=%d %v seed=%d %s", r.Case.N, r.Case.P, r.Case.Ports, r.Case.Seed, plan)
+	if r.Case.Deadline > 0 {
+		fmt.Fprintf(&sb, " deadline=%g", r.Case.Deadline)
+	}
+	sb.WriteByte('\n')
+	for _, o := range r.Outcomes {
+		fmt.Fprintf(&sb, "  %-10s %-8s", o.Alg.Name(), o.Status)
+		if o.Status == OK || (o.Elapsed > 0 && o.Status == Failed) {
+			fmt.Fprintf(&sb, " clock=%-12g diff=%.3g", o.Elapsed, o.MaxDiff)
+			if o.Retries > 0 {
+				fmt.Fprintf(&sb, " retries=%d", o.Retries)
+			}
+		}
+		if o.Err != nil {
+			fmt.Fprintf(&sb, " err=%v", o.Err)
+		}
+		if o.Note != "" {
+			fmt.Fprintf(&sb, " (%s)", o.Note)
+		}
+		sb.WriteByte('\n')
+	}
+	verdict := "PASS"
+	if !r.OK {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&sb, "  => %s cross-diff=%.3g\n", verdict, r.CrossDiff)
+	return sb.String()
+}

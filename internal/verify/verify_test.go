@@ -1,0 +1,129 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"hypermm"
+)
+
+func cleanCase(n, p int, ports hypermm.PortModel) Case {
+	return Case{N: n, P: p, Ports: ports, Seed: 11, Ts: 150, Tw: 3, Tc: 0.5}
+}
+
+func TestRunnableMatchesRunners(t *testing.T) {
+	// The predicate must agree with the actual runners: every runnable
+	// combination runs; no combination it rejects is secretly fine is not
+	// checked (rejection is conservative by design), but acceptance must
+	// never lie.
+	A := hypermm.RandomMatrix(24, 24, 1)
+	B := hypermm.RandomMatrix(24, 24, 2)
+	for _, p := range []int{4, 8, 16, 64} {
+		for _, alg := range hypermm.Algorithms {
+			if !Runnable(alg, 24, p) {
+				continue
+			}
+			if _, err := hypermm.Run(alg, hypermm.Config{P: p, Ports: hypermm.OnePort, Ts: 1, Tw: 1}, A, B); err != nil {
+				t.Errorf("Runnable(%v, 24, %d) said yes but Run failed: %v", alg, p, err)
+			}
+		}
+	}
+	if Runnable(hypermm.Cannon, 24, 3) {
+		t.Error("accepted non-power-of-two p")
+	}
+	if Runnable(hypermm.Cannon, 25, 16) {
+		t.Error("accepted n not divisible by sqrt(p)")
+	}
+	if Runnable(hypermm.ThreeAll, 24, 64) {
+		t.Error("accepted n=24 for 3dall at p=64 (needs 16 | n)")
+	}
+	// HJE slices blocks into log sqrt(p) strips: n=32, p=64 gives block
+	// edge 4, not divisible by 3.
+	if Runnable(hypermm.HJE, 32, 64) {
+		t.Error("accepted HJE block edge not divisible by log sqrt(p)")
+	}
+	if !Runnable(hypermm.HJE, 48, 64) {
+		t.Error("rejected HJE at n=48 p=64")
+	}
+}
+
+func TestCheckCleanPasses(t *testing.T) {
+	for _, ports := range []hypermm.PortModel{hypermm.OnePort, hypermm.MultiPort} {
+		r := Check(cleanCase(24, 8, ports))
+		if !r.OK {
+			t.Fatalf("clean case failed:\n%s", r)
+		}
+		if len(r.Outcomes) == 0 {
+			t.Fatal("no algorithm ran at n=24 p=8")
+		}
+		for _, o := range r.Outcomes {
+			if o.Status != OK {
+				t.Errorf("%v: %v (%v)", o.Alg, o.Status, o.Err)
+			}
+			if o.Note == "" {
+				t.Errorf("%v: clean outcome missing reconciliation note", o.Alg)
+			}
+		}
+	}
+}
+
+func TestCheckCleanCubeReconciles(t *testing.T) {
+	// p=64 makes every algorithm (2-D and 3-D) applicable at n=48.
+	r := Check(cleanCase(48, 64, hypermm.OnePort))
+	if !r.OK {
+		t.Fatalf("clean cube case failed:\n%s", r)
+	}
+	if got, want := len(r.Outcomes), len(hypermm.Algorithms); got != want {
+		t.Fatalf("ran %d algorithms, want all %d", got, want)
+	}
+}
+
+func TestCheckFaultyRecoversOrFaults(t *testing.T) {
+	// A light plan: every algorithm either recovers (and must still be
+	// correct) or surfaces a typed fault — never a wrong answer.
+	c := cleanCase(24, 8, hypermm.OnePort)
+	c.Plan = &hypermm.FaultPlan{Seed: 9, Drop: 0.08, MaxRetries: 30}
+	r := Check(c)
+	if !r.OK {
+		t.Fatalf("light plan produced a hard failure:\n%s", r)
+	}
+	retried := false
+	for _, o := range r.Outcomes {
+		if o.Retries > 0 {
+			retried = true
+		}
+	}
+	if !retried {
+		t.Fatal("8% drop never exercised the retry path")
+	}
+}
+
+func TestCheckHostilePlanFaultsTyped(t *testing.T) {
+	c := cleanCase(24, 8, hypermm.OnePort)
+	c.Plan = &hypermm.FaultPlan{
+		Seed:       2,
+		Down:       []hypermm.Window{{Src: -1, Dst: -1, From: 0, To: hypermm.Forever}},
+		MaxRetries: 1,
+	}
+	r := Check(c)
+	if !r.OK {
+		t.Fatalf("typed faults must not fail the report:\n%s", r)
+	}
+	for _, o := range r.Outcomes {
+		if o.Status != Faulted {
+			t.Errorf("%v: %v under a total outage, want faulted", o.Alg, o.Status)
+		}
+	}
+}
+
+func TestReportStringDeterministic(t *testing.T) {
+	c := cleanCase(24, 8, hypermm.MultiPort)
+	c.Plan = &hypermm.FaultPlan{Seed: 5, Drop: 0.1, DelayProb: 0.2, DelayTime: 40, MaxRetries: 30}
+	a, b := Check(c).String(), Check(c).String()
+	if a != b {
+		t.Fatalf("report text diverged:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, "=> PASS") {
+		t.Fatalf("unexpected verdict:\n%s", a)
+	}
+}

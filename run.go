@@ -14,6 +14,9 @@ type CommStats struct {
 	Startups int64 // per-hop message start-ups charged
 	WordHops int64 // payload words times hops traveled
 	Flops    int64 // floating-point operations across all nodes
+	// Retries counts lost transmission attempts that the acknowledged
+	// retry protocol recovered (always 0 without a fault plan).
+	Retries int64
 	// PeakWordsTotal is the aggregate peak storage across processors
 	// (the paper's Table 3 "overall space used").
 	PeakWordsTotal int
@@ -51,15 +54,19 @@ func newMachine(cfg Config) (*simnet.Machine, error) {
 	if cfg.Ts < 0 || cfg.Tw < 0 || cfg.Tc < 0 {
 		return nil, fmt.Errorf("hypermm: negative cost parameter in %+v", cfg)
 	}
+	if cfg.Deadline < 0 {
+		return nil, fmt.Errorf("hypermm: negative deadline %g", cfg.Deadline)
+	}
 	return simnet.NewMachine(simnet.Config{
 		P: cfg.P, Ports: cfg.Ports.internal(), Ts: cfg.Ts, Tw: cfg.Tw, Tc: cfg.Tc,
+		Faults: cfg.Faults.internal(), Deadline: cfg.Deadline,
 	}), nil
 }
 
 func commStats(rs simnet.RunStats) CommStats {
 	return CommStats{
 		Msgs: rs.TotalMsgs, Words: rs.TotalWords, Startups: rs.TotalStartups,
-		WordHops: rs.TotalWordHops, Flops: rs.TotalFlops,
+		WordHops: rs.TotalWordHops, Flops: rs.TotalFlops, Retries: rs.TotalRetries,
 		PeakWordsTotal: rs.TotalPeak, PeakWordsMax: rs.MaxPeak,
 	}
 }
