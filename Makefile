@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fuzz chaos clean
+.PHONY: check build test race vet fuzz chaos bench clean
 
 check: vet test race
 
@@ -34,6 +34,18 @@ fuzz:
 # for a fixed -seed.
 chaos:
 	$(GO) run ./cmd/chaos -seed 1 -cases 12
+
+# Performance snapshot: the hot-path benchmark families (local GEMM
+# kernel, emulator throughput, region-map sweeps, packed-kernel micro
+# benches), parsed into BENCH_kernel.json. BENCHTIME=1x gives a cheap
+# CI smoke; the default gives stable numbers.
+BENCHTIME ?= 0.5s
+bench:
+	( $(GO) test -run XXX -bench '^BenchmarkLocalMatMul$$|^BenchmarkEmulatorThroughput$$|^BenchmarkFig13|^BenchmarkFig14' \
+		-benchmem -benchtime $(BENCHTIME) . ; \
+	  $(GO) test -run XXX -bench '^BenchmarkMulAdd|^BenchmarkTranspose' \
+		-benchmem -benchtime $(BENCHTIME) ./internal/matrix ) \
+	| $(GO) run ./cmd/bench2json -o BENCH_kernel.json
 
 clean:
 	$(GO) clean ./...

@@ -162,7 +162,9 @@ func BenchmarkLocalMatMul(b *testing.B) {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			A := RandomMatrix(n, n, 1)
 			B := RandomMatrix(n, n, 2)
-			b.SetBytes(int64(8 * n * n))
+			// Three n x n operands move through the kernel per product.
+			b.SetBytes(int64(3 * 8 * n * n))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				MatMul(A, B)
@@ -179,6 +181,7 @@ func BenchmarkEmulatorThroughput(b *testing.B) {
 			A := RandomMatrix(c.n, c.n, 1)
 			B := RandomMatrix(c.n, c.n, 2)
 			cfg := Config{P: c.p, Ports: OnePort, Ts: 150, Tw: 3, Tc: 0.5}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := Run(ThreeAll, cfg, A, B); err != nil {

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"hypermm"
 	"hypermm/internal/cost"
@@ -57,9 +58,21 @@ func main() {
 	if pm == hypermm.MultiPort {
 		spm = simnet.MultiPort
 	}
+	// Render every panel concurrently (each is an independent grid
+	// evaluation), then print in panel order for byte-identical output.
+	texts := make([]string, len(panels))
+	var wg sync.WaitGroup
+	for i, t := range panels {
+		wg.Add(1)
+		go func(i int, t float64) {
+			defer wg.Done()
+			texts[i] = hypermm.RegionMap(pm, t, *tw, *logNMin, *logNMax, *nSteps, *logPMin, *logPMax, *pSteps)
+		}(i, t)
+	}
+	wg.Wait()
 	for i, t := range panels {
 		fmt.Printf("%s(%c): t_s=%g, t_w=%g\n", fig, 'a'+i, t, *tw)
-		fmt.Print(hypermm.RegionMap(pm, t, *tw, *logNMin, *logNMax, *nSteps, *logPMin, *logPMax, *pSteps))
+		fmt.Print(texts[i])
 		fmt.Println()
 		if *pngPath != "" {
 			rm := cost.NewRegionMap(spm, t, *tw, cost.DefaultCandidates(spm),

@@ -68,9 +68,11 @@ func CannonRun(nd *simnet.Node, rowCh, colCh hypercube.Chain, i, j, q int, a, b 
 	tg := func(step, kind int) uint64 { return phase<<20 | uint64(step)<<4 | uint64(kind) }
 
 	// Phase 1: skew. A_ij -> p_{i,(j-i) mod q}; B_ij -> p_{(i-j) mod q, j}.
+	// The skewed-away blocks are never read again on this node, so the
+	// sends transfer ownership instead of copying.
 	if q > 1 {
-		nd.SendM(rowCh.NodeAt(((j-i)%q+q)%q), tg(0, 0), a)
-		nd.SendM(colCh.NodeAt(((i-j)%q+q)%q), tg(0, 1), b)
+		nd.SendMOwned(rowCh.NodeAt(((j-i)%q+q)%q), tg(0, 0), a)
+		nd.SendMOwned(colCh.NodeAt(((i-j)%q+q)%q), tg(0, 1), b)
 		a = nd.RecvM(rowCh.NodeAt((j+i)%q), tg(0, 0))
 		b = nd.RecvM(colCh.NodeAt((i+j)%q), tg(0, 1))
 	}
@@ -86,9 +88,11 @@ func CannonRun(nd *simnet.Node, rowCh, colCh hypercube.Chain, i, j, q int, a, b 
 		// Shift A one position left along the row ring and B one
 		// position up along the column ring. On a multi-port machine
 		// the two transfers overlap (row and column dimensions are
-		// disjoint); on a one-port machine they serialize.
-		nd.SendM(rowCh.NodeAt(((j-1)%q+q)%q), tg(t+1, 0), a)
-		nd.SendM(colCh.NodeAt(((i-1)%q+q)%q), tg(t+1, 1), b)
+		// disjoint); on a one-port machine they serialize. Each block
+		// is immediately replaced by the incoming one, so the shifts
+		// relay the payload without copying.
+		nd.SendMOwned(rowCh.NodeAt(((j-1)%q+q)%q), tg(t+1, 0), a)
+		nd.SendMOwned(colCh.NodeAt(((i-1)%q+q)%q), tg(t+1, 1), b)
 		a = nd.RecvM(rowCh.NodeAt((j+1)%q), tg(t+1, 0))
 		b = nd.RecvM(colCh.NodeAt((i+1)%q), tg(t+1, 1))
 	}

@@ -51,9 +51,11 @@ func CannonTorus(m *simnet.Machine, A, B *matrix.Dense) (*matrix.Dense, simnet.R
 		tg := func(step, kind int) uint64 { return 1<<20 | uint64(step)<<4 | uint64(kind) }
 
 		// Skew: A_ij -> p_{i,(j-i) mod q}; B_ij -> p_{(i-j) mod q, j}.
+		// As in CannonRun, every sent block is immediately replaced by
+		// the incoming one, so the sends transfer ownership.
 		if q > 1 {
-			nd.SendM(simnet.TorusNode(i, j-i, q), tg(0, 0), a)
-			nd.SendM(simnet.TorusNode(i-j, j, q), tg(0, 1), b)
+			nd.SendMOwned(simnet.TorusNode(i, j-i, q), tg(0, 0), a)
+			nd.SendMOwned(simnet.TorusNode(i-j, j, q), tg(0, 1), b)
 			a = nd.RecvM(simnet.TorusNode(i, j+i, q), tg(0, 0))
 			b = nd.RecvM(simnet.TorusNode(i+j, j, q), tg(0, 1))
 		}
@@ -65,8 +67,8 @@ func CannonTorus(m *simnet.Machine, A, B *matrix.Dense) (*matrix.Dense, simnet.R
 			if t == q-1 {
 				break
 			}
-			nd.SendM(simnet.TorusNode(i, j-1, q), tg(t+1, 0), a)
-			nd.SendM(simnet.TorusNode(i-1, j, q), tg(t+1, 1), b)
+			nd.SendMOwned(simnet.TorusNode(i, j-1, q), tg(t+1, 0), a)
+			nd.SendMOwned(simnet.TorusNode(i-1, j, q), tg(t+1, 1), b)
 			a = nd.RecvM(simnet.TorusNode(i, j+1, q), tg(t+1, 0))
 			b = nd.RecvM(simnet.TorusNode(i+1, j, q), tg(t+1, 1))
 		}

@@ -61,8 +61,10 @@ func Fox(m *simnet.Machine, A, B *matrix.Dense) (*matrix.Dense, simnet.RunStats,
 			if t == q-1 {
 				break
 			}
-			// Roll B one position up the column ring.
-			nd.SendM(colCh.NodeAt(((i-1)%q+q)%q), uint64(2000+t), b)
+			// Roll B one position up the column ring; b is immediately
+			// replaced by the incoming block, so the send relays the
+			// payload without copying.
+			nd.SendMOwned(colCh.NodeAt(((i-1)%q+q)%q), uint64(2000+t), b)
 			b = nd.RecvM(colCh.NodeAt((i+1)%q), uint64(2000+t))
 		}
 		out[nd.ID] = c

@@ -55,7 +55,9 @@ func (op *AllGatherOp) SendStep(s int) {
 		for _, r := range keys {
 			buf = append(buf, op.held[l][r]...)
 		}
-		op.c.N.Send(op.c.partner(b), tag(op.phase, s, l), buf)
+		// buf is freshly assembled and never touched again: hand the
+		// slice to the network instead of paying a transport copy.
+		op.c.N.SendOwned(op.c.partner(b), tag(op.phase, s, l), buf)
 	}
 }
 
@@ -79,12 +81,12 @@ func (op *AllGatherOp) RecvStep(s int) {
 	}
 }
 
-// Result returns all q blocks indexed by chain position (valid after Run).
+// Result returns all q blocks indexed by chain position (valid after
+// Run). The blocks are carved from one batch allocation.
 func (op *AllGatherOp) Result() []*matrix.Dense {
-	out := make([]*matrix.Dense, op.c.q)
-	for pos := range out {
+	out := matrix.NewBatch(op.c.q, op.rows, op.cols)
+	for pos, blk := range out {
 		r := hypercube.Gray(pos)
-		blk := matrix.New(op.rows, op.cols)
 		for l := 0; l < op.c.g; l++ {
 			lo, hi := sliceBounds(op.w, op.c.g, l)
 			if lo == hi {
@@ -96,7 +98,6 @@ func (op *AllGatherOp) Result() []*matrix.Dense {
 			}
 			copy(blk.Data[lo:hi], piece)
 		}
-		out[pos] = blk
 	}
 	return out
 }

@@ -72,7 +72,9 @@ func (op *AllToAllOp) SendStep(s int) {
 			buf = append(buf, op.held[l][k]...)
 			delete(op.held[l], k)
 		}
-		op.c.N.Send(op.c.partner(b), tag(op.phase, s, l), buf)
+		// buf is freshly assembled and never touched again: hand the
+		// slice to the network instead of paying a transport copy.
+		op.c.N.SendOwned(op.c.partner(b), tag(op.phase, s, l), buf)
 	}
 }
 
@@ -120,12 +122,12 @@ func sortKeys(a []pieceKey) {
 }
 
 // Result returns the blocks addressed to this node, indexed by origin
-// position (valid after Run).
+// position (valid after Run). The blocks are carved from one batch
+// allocation.
 func (op *AllToAllOp) Result() []*matrix.Dense {
-	out := make([]*matrix.Dense, op.c.q)
-	for pos := range out {
+	out := matrix.NewBatch(op.c.q, op.rows, op.cols)
+	for pos, blk := range out {
 		o := hypercube.Gray(pos)
-		blk := matrix.New(op.rows, op.cols)
 		for l := 0; l < op.c.g; l++ {
 			lo, hi := sliceBounds(op.w, op.c.g, l)
 			if lo == hi {
@@ -137,7 +139,6 @@ func (op *AllToAllOp) Result() []*matrix.Dense {
 			}
 			copy(blk.Data[lo:hi], piece)
 		}
-		out[pos] = blk
 	}
 	return out
 }

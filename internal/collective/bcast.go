@@ -96,6 +96,7 @@ func (op *BcastOp) RecvStep(s int) {
 			panic(fmt.Sprintf("collective: Bcast slice %d got %d words want %d", l, len(msg.Data), hi-lo))
 		}
 		copy(op.data[lo:hi], msg.Data)
+		msg.Release() // payload fully copied into the local block
 	}
 }
 

@@ -128,7 +128,9 @@ func (op *ScatterOp) SendStep(s int) {
 			buf = append(buf, op.held[l][x]...)
 			delete(op.held[l], x)
 		}
-		op.c.N.Send(op.c.partner(b), tag(op.phase, s, l), buf)
+		// buf is freshly assembled and never touched again: hand the
+		// slice to the network instead of paying a transport copy.
+		op.c.N.SendOwned(op.c.partner(b), tag(op.phase, s, l), buf)
 	}
 }
 
@@ -232,7 +234,9 @@ func (op *GatherOp) SendStep(s int) {
 			buf = append(buf, op.held[l][x]...)
 		}
 		op.held[l] = nil
-		op.c.N.Send(op.c.partner(b), tag(op.phase, s, l), buf)
+		// buf is freshly assembled and never touched again: hand the
+		// slice to the network instead of paying a transport copy.
+		op.c.N.SendOwned(op.c.partner(b), tag(op.phase, s, l), buf)
 	}
 }
 

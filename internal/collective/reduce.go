@@ -70,6 +70,7 @@ func (op *ReduceOp) RecvStep(s int) {
 		for i, v := range msg.Data {
 			dst[i] += v
 		}
+		msg.Release() // payload fully folded into acc
 		op.c.N.Compute(int64(hi - lo))
 	}
 }
@@ -118,8 +119,11 @@ func (c Comm) NewReduceScatter(phase uint64, blocks []*matrix.Dense) *ReduceScat
 	for l := range op.held {
 		op.held[l] = make(map[int][]float64, c.q)
 		lo, hi := sliceBounds(op.w, c.g, l)
+		sz := hi - lo
+		// One slab for all q accumulating copies of this slice.
+		slab := make([]float64, c.q*sz)
 		for pos, b := range blocks {
-			cp := make([]float64, hi-lo)
+			cp := slab[pos*sz : (pos+1)*sz : (pos+1)*sz]
 			copy(cp, b.Data[lo:hi])
 			op.held[l][hypercube.Gray(pos)] = cp
 		}
@@ -152,7 +156,9 @@ func (op *ReduceScatterOp) SendStep(s int) {
 			buf = append(buf, op.held[l][x]...)
 			delete(op.held[l], x)
 		}
-		op.c.N.Send(op.c.partner(b), tag(op.phase, s, l), buf)
+		// buf is freshly assembled and never touched again: hand the
+		// slice to the network instead of paying a transport copy.
+		op.c.N.SendOwned(op.c.partner(b), tag(op.phase, s, l), buf)
 	}
 }
 
@@ -177,7 +183,9 @@ func (op *ReduceScatterOp) RecvStep(s int) {
 				dst[k] += v
 			}
 		}
-		op.c.N.Compute(int64(len(msg.Data)))
+		words := len(msg.Data)
+		msg.Release() // payload fully folded into held slices
+		op.c.N.Compute(int64(words))
 	}
 }
 

@@ -101,6 +101,8 @@ func ThreeAllGrid(m *simnet.Machine, A, B *matrix.Dense, qy int) (*matrix.Dense,
 	if n%cols != 0 {
 		return nil, simnet.RunStats{}, fmt.Errorf("core: n=%d not divisible by Q*qy=%d", n, cols)
 	}
+	aBlocks := A.GridBlocks(Q, cols)
+	bBlocks := B.GridBlocks(Q, cols)
 	aIn := make([]*matrix.Dense, m.P())
 	bIn := make([]*matrix.Dense, m.P())
 	for i := 0; i < Q; i++ {
@@ -108,8 +110,8 @@ func ThreeAllGrid(m *simnet.Machine, A, B *matrix.Dense, qy int) (*matrix.Dense,
 			for k := 0; k < Q; k++ {
 				id := g.node(i, j, k)
 				f := matrix.F(qyy, i, j)
-				aIn[id] = A.GridBlock(Q, cols, k, f)
-				bIn[id] = B.GridBlock(Q, cols, k, f)
+				aIn[id] = aBlocks[k][f]
+				bIn[id] = bBlocks[k][f]
 			}
 		}
 	}
@@ -148,10 +150,7 @@ func threeAllGridRound(nd *simnet.Node, g rectGrid, aBlk, bBlk *matrix.Dense, ta
 	// block goes to y-position l; the received pieces assemble into
 	// B_{f(k,j),i} of the (Q*qy x Q) partition (the paper's proof of
 	// correctness, Section 4.2.2).
-	bPieces := make([]*matrix.Dense, qy)
-	for l := 0; l < qy; l++ {
-		bPieces[l] = bBlk.RowGroup(qy, l)
-	}
+	bPieces := bBlk.RowGroups(qy)
 	got := yc.AllToAll(tagBase+1, bPieces)
 	bMine := matrix.ConcatCols(got...)
 
@@ -173,9 +172,5 @@ func threeAllGridRound(nd *simnet.Node, g rectGrid, aBlk, bBlk *matrix.Dense, ta
 	}
 
 	// Phase 3: all-to-all reduction along y.
-	pieces := make([]*matrix.Dense, qy)
-	for l := 0; l < qy; l++ {
-		pieces[l] = islab.ColGroup(qy, l)
-	}
-	return yc.ReduceScatter(tagBase+4, pieces)
+	return yc.ReduceScatter(tagBase+4, islab.ColGroups(qy))
 }

@@ -3,7 +3,9 @@ package cost
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
+	"sync"
 
 	"hypermm/internal/simnet"
 )
@@ -49,13 +51,47 @@ func NewRegionMap(pm simnet.PortModel, ts, tw float64, algs []Alg,
 		rm.LogP = append(rm.LogP, logPMin+(logPMax-logPMin)*float64(i)/float64(pSteps-1))
 	}
 	rm.Winner = make([][]int, pSteps)
-	for pi, lp := range rm.LogP {
+	for pi := range rm.Winner {
 		rm.Winner[pi] = make([]int, nSteps)
-		for ni, ln := range rm.LogN {
-			rm.Winner[pi][ni] = rm.winnerAt(pow2(ln), pow2(lp))
-		}
 	}
+	// Each cell is an independent pure evaluation writing its own
+	// Winner slot, so rows can be sharded over a worker pool with no
+	// coordination; the assembled grid is identical to the serial scan
+	// byte for byte regardless of worker count or scheduling.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > pSteps {
+		workers = pSteps
+	}
+	if workers <= 1 {
+		for pi, lp := range rm.LogP {
+			rm.fillRow(pi, lp)
+		}
+		return rm
+	}
+	var wg sync.WaitGroup
+	rows := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pi := range rows {
+				rm.fillRow(pi, rm.LogP[pi])
+			}
+		}()
+	}
+	for pi := range rm.LogP {
+		rows <- pi
+	}
+	close(rows)
+	wg.Wait()
 	return rm
+}
+
+// fillRow evaluates every cell of row pi.
+func (rm *RegionMap) fillRow(pi int, lp float64) {
+	for ni, ln := range rm.LogN {
+		rm.Winner[pi][ni] = rm.winnerAt(pow2(ln), pow2(lp))
+	}
 }
 
 func pow2(x float64) float64 { return math.Exp2(x) }

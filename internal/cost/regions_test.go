@@ -196,3 +196,26 @@ func TestCrossoverP(t *testing.T) {
 		_ = ok
 	}
 }
+
+// TestRegionMapParallelDeterministic pins the determinism contract of
+// the sharded grid evaluation: the assembled winner grid matches a
+// serial cell-by-cell scan exactly, and repeated builds render to
+// identical bytes regardless of worker scheduling.
+func TestRegionMapParallelDeterministic(t *testing.T) {
+	algs := DefaultCandidates(simnet.OnePort)
+	rm := NewRegionMap(simnet.OnePort, 150, 3, algs, 5, 14, 48, 3, 20, 24)
+	for pi, lp := range rm.LogP {
+		for ni, ln := range rm.LogN {
+			if want := rm.winnerAt(pow2(ln), pow2(lp)); rm.Winner[pi][ni] != want {
+				t.Fatalf("cell (%d,%d): parallel winner %d, serial %d", pi, ni, rm.Winner[pi][ni], want)
+			}
+		}
+	}
+	ref := rm.Render()
+	for trial := 0; trial < 3; trial++ {
+		got := NewRegionMap(simnet.OnePort, 150, 3, algs, 5, 14, 48, 3, 20, 24).Render()
+		if got != ref {
+			t.Fatalf("trial %d: render differs from first build", trial)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package matrix
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkMulAdd measures the dispatching kernel (packed above the
+// threshold, direct-tiled below); BenchmarkMulAddNaive is the reference
+// triple loop for the speedup ratio.
+func BenchmarkMulAdd(b *testing.B) {
+	for _, n := range []int{16, 32, 64, 128, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			x := Random(n, n, 1)
+			y := Random(n, n, 2)
+			c := New(n, n)
+			b.SetBytes(int64(3 * 8 * n * n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MulAdd(c, x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkMulAddNaive(b *testing.B) {
+	for _, n := range []int{64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			x := Random(n, n, 1)
+			y := Random(n, n, 2)
+			c := New(n, n)
+			b.SetBytes(int64(3 * 8 * n * n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mulAddNaive(c, x, y)
+			}
+		})
+	}
+}
+
+// BenchmarkTranspose: HJE and the transpose-based algorithms call
+// Transpose on every block, so its cache behavior matters at 256+.
+func BenchmarkTranspose(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			m := Random(n, n, 1)
+			b.SetBytes(int64(2 * 8 * n * n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = m.Transpose()
+			}
+		})
+	}
+}

@@ -107,6 +107,71 @@ func (m *Dense) ColGroup(q, j int) *Dense {
 	return m.Block(0, m.Rows, j*bc, (j+1)*bc)
 }
 
+// NewBatch returns q zeroed r x c matrices carved out of one backing
+// allocation: three allocations total instead of 2q. The blocks are
+// independent views of disjoint ranges, so they can be filled, sent and
+// multiplied like individually allocated matrices; they merely share a
+// backing array's lifetime. Hot per-node assembly paths (collective
+// results, group splits) use it to keep the emulator's allocation rate
+// flat in q.
+func NewBatch(q, r, c int) []*Dense {
+	if q < 0 {
+		panic(fmt.Sprintf("matrix: NewBatch negative count %d", q))
+	}
+	data := make([]float64, q*r*c)
+	ds := make([]Dense, q)
+	out := make([]*Dense, q)
+	w := r * c
+	for i := range ds {
+		ds[i] = Dense{Rows: r, Cols: c, Data: data[i*w : (i+1)*w : (i+1)*w]}
+		out[i] = &ds[i]
+	}
+	return out
+}
+
+// RowGroups splits m into its q equal horizontal slabs, copied into one
+// backing allocation (cheaper than q RowGroup calls).
+func (m *Dense) RowGroups(q int) []*Dense {
+	br := mustDivide("RowGroups", m.Rows, q)
+	out := NewBatch(q, br, m.Cols)
+	for i, b := range out {
+		copy(b.Data, m.Data[i*br*m.Cols:(i+1)*br*m.Cols])
+	}
+	return out
+}
+
+// ColGroups splits m into its q equal vertical slabs, copied into one
+// backing allocation (cheaper than q ColGroup calls).
+func (m *Dense) ColGroups(q int) []*Dense {
+	bc := mustDivide("ColGroups", m.Cols, q)
+	out := NewBatch(q, m.Rows, bc)
+	for j, b := range out {
+		for i := 0; i < m.Rows; i++ {
+			copy(b.Data[i*bc:(i+1)*bc], m.Data[i*m.Cols+j*bc:i*m.Cols+(j+1)*bc])
+		}
+	}
+	return out
+}
+
+// GridBlocks partitions m into its full qr x qc grid of equal blocks,
+// all carved from one batch allocation (cheaper than qr*qc GridBlock
+// calls); out[i][j] is block (i,j).
+func (m *Dense) GridBlocks(qr, qc int) [][]*Dense {
+	br := mustDivide("GridBlocks rows", m.Rows, qr)
+	bc := mustDivide("GridBlocks cols", m.Cols, qc)
+	flat := NewBatch(qr*qc, br, bc)
+	out := make([][]*Dense, qr)
+	for i := range out {
+		out[i] = flat[i*qc : (i+1)*qc]
+		for j, b := range out[i] {
+			for r := 0; r < br; r++ {
+				copy(b.Data[r*bc:(r+1)*bc], m.Data[(i*br+r)*m.Cols+j*bc:(i*br+r)*m.Cols+(j+1)*bc])
+			}
+		}
+	}
+	return out
+}
+
 // ConcatCols lays blocks side by side (same row counts) into one matrix.
 func ConcatCols(blocks ...*Dense) *Dense {
 	if len(blocks) == 0 {

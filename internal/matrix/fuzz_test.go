@@ -1,6 +1,38 @@
 package matrix
 
-import "testing"
+import (
+	"runtime"
+	"testing"
+)
+
+// FuzzMulAddDifferential pits the packed/tiled kernel against the
+// reference triple loop over fuzzer-chosen (possibly empty, odd or
+// rectangular) shapes and parallelism levels 1, 2 and GOMAXPROCS.
+// Equality is exact: both kernels add each element's terms in the same
+// order without fused multiply-add.
+func FuzzMulAddDifferential(f *testing.F) {
+	f.Add(uint16(4), uint16(4), uint16(4), int64(1))
+	f.Add(uint16(0), uint16(3), uint16(5), int64(2))
+	f.Add(uint16(65), uint16(300), uint16(67), int64(3))
+	f.Fuzz(func(t *testing.T, nB, kB, mB uint16, seed int64) {
+		n, k, m := int(nB)%150, int(kB)%310, int(mB)%150
+		a := Random(n, k, seed)
+		b := Random(k, m, seed+1)
+		want := Random(n, m, seed+2)
+		start := want.Clone()
+		mulAddNaive(want, a, b)
+		defer SetParallelism(0)
+		for _, lvl := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+			SetParallelism(lvl)
+			got := start.Clone()
+			MulAdd(got, a, b)
+			if !Equal(got, want) {
+				t.Fatalf("%dx%dx%d parallelism %d: kernel differs from naive by %g",
+					n, k, m, lvl, MaxAbsDiff(got, want))
+			}
+		}
+	})
+}
 
 func FuzzGridBlockRoundTrip(f *testing.F) {
 	f.Add(uint8(2), uint8(3), int64(7))

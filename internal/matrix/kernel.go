@@ -1,0 +1,447 @@
+package matrix
+
+// Packed, register-tiled GEMM kernel.
+//
+// MulAdd dispatches between two paths that produce bit-identical
+// results:
+//
+//   - a direct register-tiled path for small blocks (the emulator's
+//     per-node multiplies), which allocates nothing, and
+//   - a packed path for large matrices: B is packed once into
+//     tile-major panels, A is packed per (row-block, k-panel), and a
+//     4x4 register-blocked microkernel runs over contiguous tiles with
+//     no per-element branches.
+//
+// Both paths accumulate every C element over k in ascending order with
+// C as the running accumulator (loaded into registers per k-panel,
+// stored after), so they are bitwise identical to the reference triple
+// loop mulAddNaive — Go does not fuse multiply-add, and the addition
+// order is exactly the naive kernel's. The differential tests in
+// kernel_test.go assert exact equality, not tolerance.
+//
+// The optional parallel path splits the M dimension (rows of C) into
+// contiguous chunks. Each element is still computed by exactly one
+// worker in the same k order, so results are bitwise identical at every
+// parallelism level. Workers beyond the caller's goroutine are borrowed
+// non-blockingly from a shared token pool bounded by SetParallelism, so
+// many emulator nodes multiplying concurrently cannot oversubscribe the
+// machine: a node that finds the pool empty simply runs its kernel
+// inline. See DESIGN.md §8 for how the tile parameters were chosen.
+
+import (
+	"runtime"
+	"sync"
+)
+
+const (
+	mr = 4 // microkernel rows (A-strip height)
+	nr = 4 // microkernel cols (B-strip width)
+
+	// kcBlk is the k-panel depth: a packed 4-wide A strip of kcBlk
+	// depth is 8 KiB, so strip + B tile + C tile live in L1.
+	kcBlk = 256
+	// mcBlk rows of packed A per panel: mcBlk*kcBlk words = 512 KiB/4
+	// keeps the A pack L2-resident alongside the streamed B panel.
+	mcBlk = 128
+
+	// packMinWork is the flop threshold (n*k*m) below which the direct
+	// (non-packing, non-allocating) tiled path wins; 64^3 marks where
+	// packing starts to pay for itself.
+	packMinWork = 1 << 18
+)
+
+// mulAddNaive is the reference triple loop (the seed kernel, minus its
+// value-dependent zero-skip branch): plain ikj order, k ascending, C as
+// the running accumulator. The packed kernel is differentially tested
+// for exact equality against it.
+func mulAddNaive(c, a, b *Dense) {
+	n, k, m := a.Rows, a.Cols, b.Cols
+	for i := 0; i < n; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*m : (i+1)*m]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			brow := b.Data[kk*m : (kk+1)*m]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// --- shared worker pool ---------------------------------------------
+
+var kernelPar struct {
+	mu    sync.Mutex
+	level int
+	sem   chan struct{} // level-1 borrowable worker tokens
+}
+
+func init() { SetParallelism(0) }
+
+// SetParallelism bounds the total number of goroutines the kernel may
+// use across all concurrent MulAdd calls and returns the previous
+// bound. n <= 0 restores the default, GOMAXPROCS. Level 1 disables the
+// parallel path. Results are bitwise identical at every level; only
+// wall-clock time changes.
+func SetParallelism(n int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	kernelPar.mu.Lock()
+	defer kernelPar.mu.Unlock()
+	prev := kernelPar.level
+	kernelPar.level = n
+	kernelPar.sem = nil
+	if n > 1 {
+		kernelPar.sem = make(chan struct{}, n-1)
+		for i := 0; i < n-1; i++ {
+			kernelPar.sem <- struct{}{}
+		}
+	}
+	return prev
+}
+
+// Parallelism returns the current kernel worker bound.
+func Parallelism() int {
+	kernelPar.mu.Lock()
+	defer kernelPar.mu.Unlock()
+	return kernelPar.level
+}
+
+// acquireWorkers borrows up to max tokens without blocking; the caller
+// must return every token to the same channel when done.
+func acquireWorkers(max int) (int, chan struct{}) {
+	if max <= 0 {
+		return 0, nil
+	}
+	kernelPar.mu.Lock()
+	sem := kernelPar.sem
+	kernelPar.mu.Unlock()
+	if sem == nil {
+		return 0, nil
+	}
+	got := 0
+	for got < max {
+		select {
+		case <-sem:
+			got++
+		default:
+			return got, sem
+		}
+	}
+	return got, sem
+}
+
+// --- pack buffer pool ------------------------------------------------
+
+var packPool = sync.Pool{New: func() any { return new([]float64) }}
+
+func getPackBuf(n int) *[]float64 {
+	p := packPool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putPackBuf(p *[]float64) { packPool.Put(p) }
+
+// --- dispatch ---------------------------------------------------------
+
+// mulAddKernel is the MulAdd implementation behind the shape checks.
+func mulAddKernel(c, a, b *Dense) {
+	n, k, m := a.Rows, a.Cols, b.Cols
+	if n == 0 || k == 0 || m == 0 {
+		return
+	}
+	if n*k < packMinWork/m { // n*k*m < packMinWork without overflow risk
+		mulAddTiled(c, a, b)
+		return
+	}
+
+	bpBuf := getPackBuf(k * m)
+	defer putPackBuf(bpBuf)
+	bp := *bpBuf
+	packB(b, bp)
+
+	// Borrow extra workers only when every worker gets at least one
+	// full A panel of rows.
+	extra, sem := acquireWorkers(min(Parallelism()-1, n/mcBlk))
+	if extra == 0 {
+		mulAddRange(c, a, b, 0, n, bp)
+		return
+	}
+	workers := extra + 1
+	chunk := (n + workers - 1) / workers
+	chunk = (chunk + mr - 1) / mr * mr
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		r0 := w * chunk
+		if r0 >= n {
+			break
+		}
+		r1 := min(r0+chunk, n)
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			defer func() { sem <- struct{}{} }()
+			mulAddRange(c, a, b, r0, r1, bp)
+		}(r0, r1)
+	}
+	mulAddRange(c, a, b, 0, min(chunk, n), bp)
+	wg.Wait()
+	// Return tokens for workers that got an empty range.
+	for w := 1; w < workers; w++ {
+		if w*chunk >= n {
+			sem <- struct{}{}
+		}
+	}
+}
+
+// --- packed path ------------------------------------------------------
+
+// packB lays b out panel-major: the panel at k0 holds kd*m words
+// starting at bp[k0*m]; within a panel the nr-wide column strip at j0
+// (width w at the right edge) holds its kd x w tile k-major at panel
+// offset kd*j0.
+func packB(b *Dense, bp []float64) {
+	k, m := b.Rows, b.Cols
+	for k0 := 0; k0 < k; k0 += kcBlk {
+		kd := min(kcBlk, k-k0)
+		panel := bp[k0*m:]
+		for j0 := 0; j0 < m; j0 += nr {
+			w := min(nr, m-j0)
+			dst := panel[kd*j0 : kd*j0+kd*w]
+			idx := 0
+			for kk := k0; kk < k0+kd; kk++ {
+				src := b.Data[kk*m+j0 : kk*m+j0+w]
+				for _, v := range src {
+					dst[idx] = v
+					idx++
+				}
+			}
+		}
+	}
+}
+
+// packA packs rows [i0,i1) of a for the k-panel [k0,k0+kd) into ap:
+// mr-high row strips, each strip k-major (strip at relative row ri
+// starts at ap[kd*ri]; step kk holds its h row values contiguously).
+func packA(a *Dense, i0, i1, k0, kd int, ap []float64) {
+	K := a.Cols
+	for ri := 0; ri < i1-i0; ri += mr {
+		h := min(mr, i1-i0-ri)
+		dst := ap[kd*ri : kd*ri+kd*h]
+		for r := 0; r < h; r++ {
+			arow := a.Data[(i0+ri+r)*K+k0 : (i0+ri+r)*K+k0+kd]
+			for kk, v := range arow {
+				dst[kk*h+r] = v
+			}
+		}
+	}
+}
+
+// mulAddRange runs the packed kernel over C rows [r0,r1) against the
+// pre-packed bp. Safe to call concurrently for disjoint row ranges.
+func mulAddRange(c, a, b *Dense, r0, r1 int, bp []float64) {
+	K, m := a.Cols, b.Cols
+	apBuf := getPackBuf(kcBlk * mcBlk)
+	defer putPackBuf(apBuf)
+	ap := *apBuf
+	for k0 := 0; k0 < K; k0 += kcBlk {
+		kd := min(kcBlk, K-k0)
+		panel := bp[k0*m:]
+		for i0 := r0; i0 < r1; i0 += mcBlk {
+			ih := min(mcBlk, r1-i0)
+			packA(a, i0, i0+ih, k0, kd, ap)
+			for ri := 0; ri < ih; ri += mr {
+				h := min(mr, ih-ri)
+				aStrip := ap[kd*ri:]
+				for j0 := 0; j0 < m; j0 += nr {
+					w := min(nr, m-j0)
+					bStrip := panel[kd*j0:]
+					if h == mr && w == nr {
+						if useSIMD {
+							micro4x4PackedAVX(&c.Data[(i0+ri)*m+j0], m, &aStrip[0], &bStrip[0], kd)
+						} else {
+							micro4x4Packed(c.Data, i0+ri, j0, m, aStrip, bStrip, kd)
+						}
+					} else {
+						microEdgePacked(c.Data, i0+ri, j0, h, w, m, aStrip, bStrip, kd)
+					}
+				}
+			}
+		}
+	}
+}
+
+// micro4x4Packed updates the 4x4 C tile at (i0,j0) from a packed A
+// strip (kd x 4, k-major) and packed B strip (kd x 4, k-major). The 16
+// accumulators live in registers; the inner loop is branch-free.
+func micro4x4Packed(cd []float64, i0, j0, m int, ap, bp []float64, kd int) {
+	c0 := cd[i0*m+j0 : i0*m+j0+4]
+	c1 := cd[(i0+1)*m+j0 : (i0+1)*m+j0+4]
+	c2 := cd[(i0+2)*m+j0 : (i0+2)*m+j0+4]
+	c3 := cd[(i0+3)*m+j0 : (i0+3)*m+j0+4]
+	c00, c01, c02, c03 := c0[0], c0[1], c0[2], c0[3]
+	c10, c11, c12, c13 := c1[0], c1[1], c1[2], c1[3]
+	c20, c21, c22, c23 := c2[0], c2[1], c2[2], c2[3]
+	c30, c31, c32, c33 := c3[0], c3[1], c3[2], c3[3]
+	for kk := 0; kk < kd; kk++ {
+		av := ap[kk*4 : kk*4+4]
+		bv := bp[kk*4 : kk*4+4]
+		b0, b1, b2, b3 := bv[0], bv[1], bv[2], bv[3]
+		a0 := av[0]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		a1 := av[1]
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		a2 := av[2]
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		a3 := av[3]
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+	}
+	c0[0], c0[1], c0[2], c0[3] = c00, c01, c02, c03
+	c1[0], c1[1], c1[2], c1[3] = c10, c11, c12, c13
+	c2[0], c2[1], c2[2], c2[3] = c20, c21, c22, c23
+	c3[0], c3[1], c3[2], c3[3] = c30, c31, c32, c33
+}
+
+// microEdgePacked handles partial tiles (h < mr and/or w < nr) at the
+// matrix edges, same packed layouts, same k-ascending order.
+func microEdgePacked(cd []float64, i0, j0, h, w, m int, ap, bp []float64, kd int) {
+	var acc [mr * nr]float64
+	for r := 0; r < h; r++ {
+		for cc := 0; cc < w; cc++ {
+			acc[r*nr+cc] = cd[(i0+r)*m+j0+cc]
+		}
+	}
+	for kk := 0; kk < kd; kk++ {
+		as := ap[kk*h : kk*h+h]
+		bs := bp[kk*w : kk*w+w]
+		for r := 0; r < h; r++ {
+			av := as[r]
+			for cc, bvv := range bs {
+				acc[r*nr+cc] += av * bvv
+			}
+		}
+	}
+	for r := 0; r < h; r++ {
+		for cc := 0; cc < w; cc++ {
+			cd[(i0+r)*m+j0+cc] = acc[r*nr+cc]
+		}
+	}
+}
+
+// --- direct (small-block) path ---------------------------------------
+
+// mulAddTiled is the no-allocation path for small blocks: the same 4x4
+// register tiling reading A and B in place (strided B loads are fine
+// while everything fits in cache).
+func mulAddTiled(c, a, b *Dense) {
+	n, k, m := a.Rows, a.Cols, b.Cols
+	if k == 0 {
+		return
+	}
+	i := 0
+	for ; i+mr <= n; i += mr {
+		j := 0
+		for ; j+nr <= m; j += nr {
+			if useSIMD {
+				micro4x4DirectAVX(&c.Data[i*m+j], m, &a.Data[i*k], k, &b.Data[j], m, k)
+			} else {
+				micro4x4Direct(c.Data, i, j, m, a.Data, k, b.Data)
+			}
+		}
+		if j < m {
+			microEdgeDirect(c.Data, i, j, mr, m-j, m, a.Data, k, b.Data)
+		}
+	}
+	for ; i < n; i++ {
+		for j := 0; j < m; j += nr {
+			w := min(nr, m-j)
+			microEdgeDirect(c.Data, i, j, 1, w, m, a.Data, k, b.Data)
+		}
+	}
+}
+
+// micro4x4Direct is micro4x4Packed reading A rows and B rows in place.
+func micro4x4Direct(cd []float64, i0, j0, m int, ad []float64, k int, bd []float64) {
+	a0 := ad[i0*k : (i0+1)*k]
+	a1 := ad[(i0+1)*k : (i0+2)*k]
+	a2 := ad[(i0+2)*k : (i0+3)*k]
+	a3 := ad[(i0+3)*k : (i0+4)*k]
+	c0 := cd[i0*m+j0 : i0*m+j0+4]
+	c1 := cd[(i0+1)*m+j0 : (i0+1)*m+j0+4]
+	c2 := cd[(i0+2)*m+j0 : (i0+2)*m+j0+4]
+	c3 := cd[(i0+3)*m+j0 : (i0+3)*m+j0+4]
+	c00, c01, c02, c03 := c0[0], c0[1], c0[2], c0[3]
+	c10, c11, c12, c13 := c1[0], c1[1], c1[2], c1[3]
+	c20, c21, c22, c23 := c2[0], c2[1], c2[2], c2[3]
+	c30, c31, c32, c33 := c3[0], c3[1], c3[2], c3[3]
+	for kk := 0; kk < k; kk++ {
+		bv := bd[kk*m+j0 : kk*m+j0+4]
+		b0, b1, b2, b3 := bv[0], bv[1], bv[2], bv[3]
+		av := a0[kk]
+		c00 += av * b0
+		c01 += av * b1
+		c02 += av * b2
+		c03 += av * b3
+		av = a1[kk]
+		c10 += av * b0
+		c11 += av * b1
+		c12 += av * b2
+		c13 += av * b3
+		av = a2[kk]
+		c20 += av * b0
+		c21 += av * b1
+		c22 += av * b2
+		c23 += av * b3
+		av = a3[kk]
+		c30 += av * b0
+		c31 += av * b1
+		c32 += av * b2
+		c33 += av * b3
+	}
+	c0[0], c0[1], c0[2], c0[3] = c00, c01, c02, c03
+	c1[0], c1[1], c1[2], c1[3] = c10, c11, c12, c13
+	c2[0], c2[1], c2[2], c2[3] = c20, c21, c22, c23
+	c3[0], c3[1], c3[2], c3[3] = c30, c31, c32, c33
+}
+
+// microEdgeDirect handles partial tiles in place.
+func microEdgeDirect(cd []float64, i0, j0, h, w, m int, ad []float64, k int, bd []float64) {
+	var acc [mr * nr]float64
+	for r := 0; r < h; r++ {
+		for cc := 0; cc < w; cc++ {
+			acc[r*nr+cc] = cd[(i0+r)*m+j0+cc]
+		}
+	}
+	for kk := 0; kk < k; kk++ {
+		bs := bd[kk*m+j0 : kk*m+j0+w]
+		for r := 0; r < h; r++ {
+			av := ad[(i0+r)*k+kk]
+			for cc, bvv := range bs {
+				acc[r*nr+cc] += av * bvv
+			}
+		}
+	}
+	for r := 0; r < h; r++ {
+		for cc := 0; cc < w; cc++ {
+			cd[(i0+r)*m+j0+cc] = acc[r*nr+cc]
+		}
+	}
+}

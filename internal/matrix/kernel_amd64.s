@@ -1,0 +1,142 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX 4x4 GEMM microkernels.
+//
+// Both kernels use VMULPD followed by VADDPD — never fused multiply-add —
+// so every lane performs the same two IEEE-754 operations the scalar Go
+// microkernel performs, in the same k-ascending order per C element.
+// The results are therefore bitwise identical to the pure-Go paths; the
+// differential tests assert exact equality on AVX machines too.
+
+// func cpuHasAVX() bool
+//
+// CPUID.1:ECX must report OSXSAVE (bit 27) and AVX (bit 28), and XCR0
+// must have the SSE and AVX state bits (0x6) enabled by the OS.
+TEXT ·cpuHasAVX(SB), NOSPLIT, $0-1
+	MOVL	$1, AX
+	CPUID
+	MOVL	CX, BX
+	ANDL	$0x18000000, BX
+	CMPL	BX, $0x18000000
+	JNE	noavx
+	MOVL	$0, CX
+	XGETBV
+	ANDL	$6, AX
+	CMPL	AX, $6
+	JNE	noavx
+	MOVB	$1, ret+0(FP)
+	RET
+noavx:
+	MOVB	$0, ret+0(FP)
+	RET
+
+// func micro4x4PackedAVX(c *float64, ldc int, ap, bp *float64, kd int)
+//
+// C tile (4x4 at c, row stride ldc) += packed A strip (kd x 4, k-major)
+// times packed B strip (kd x 4, k-major). Per k step: one 4-wide B row
+// load, four A broadcasts, four VMULPD, four VADDPD into the row
+// accumulators Y0-Y3, which are loaded from C once and stored once.
+TEXT ·micro4x4PackedAVX(SB), NOSPLIT, $0-40
+	MOVQ	c+0(FP), DI
+	MOVQ	ldc+8(FP), SI
+	MOVQ	ap+16(FP), R8
+	MOVQ	bp+24(FP), R9
+	MOVQ	kd+32(FP), CX
+
+	SHLQ	$3, SI               // row stride in bytes
+	VMOVUPD	(DI), Y0             // C row 0
+	LEAQ	(DI)(SI*1), DX
+	VMOVUPD	(DX), Y1             // C row 1
+	VMOVUPD	(DX)(SI*1), Y2       // C row 2
+	LEAQ	(DX)(SI*2), BX
+	VMOVUPD	(BX), Y3             // C row 3
+
+	TESTQ	CX, CX
+	JZ	pdone
+ploop:
+	VMOVUPD	(R9), Y4             // B step row b0..b3
+	VBROADCASTSD	(R8), Y5
+	VMULPD	Y4, Y5, Y5
+	VADDPD	Y5, Y0, Y0
+	VBROADCASTSD	8(R8), Y6
+	VMULPD	Y4, Y6, Y6
+	VADDPD	Y6, Y1, Y1
+	VBROADCASTSD	16(R8), Y7
+	VMULPD	Y4, Y7, Y7
+	VADDPD	Y7, Y2, Y2
+	VBROADCASTSD	24(R8), Y8
+	VMULPD	Y4, Y8, Y8
+	VADDPD	Y8, Y3, Y3
+	ADDQ	$32, R8
+	ADDQ	$32, R9
+	DECQ	CX
+	JNZ	ploop
+pdone:
+	VMOVUPD	Y0, (DI)
+	VMOVUPD	Y1, (DX)
+	VMOVUPD	Y2, (DX)(SI*1)
+	VMOVUPD	Y3, (BX)
+	VZEROUPPER
+	RET
+
+// func micro4x4DirectAVX(c *float64, ldc int, a *float64, lda int, b *float64, ldb int, kd int)
+//
+// Same tile update reading A and B in place (no packing): a points at
+// A[i0, 0] with row stride lda, b points at B[0, j0] with row stride
+// ldb; each B step row is 4 contiguous doubles.
+TEXT ·micro4x4DirectAVX(SB), NOSPLIT, $0-56
+	MOVQ	c+0(FP), DI
+	MOVQ	ldc+8(FP), SI
+	MOVQ	a+16(FP), R8
+	MOVQ	lda+24(FP), R10
+	MOVQ	b+32(FP), R9
+	MOVQ	ldb+40(FP), R11
+	MOVQ	kd+48(FP), CX
+
+	SHLQ	$3, SI               // C row stride in bytes
+	SHLQ	$3, R10              // A row stride in bytes
+	SHLQ	$3, R11              // B row stride in bytes
+
+	VMOVUPD	(DI), Y0             // C row 0
+	LEAQ	(DI)(SI*1), DX
+	VMOVUPD	(DX), Y1             // C row 1
+	VMOVUPD	(DX)(SI*1), Y2       // C row 2
+	LEAQ	(DX)(SI*2), BX
+	VMOVUPD	(BX), Y3             // C row 3
+
+	LEAQ	(R8)(R10*1), R12     // A row 1
+	LEAQ	(R8)(R10*2), R13     // A row 2
+	LEAQ	(R12)(R10*2), R14    // A row 3
+
+	TESTQ	CX, CX
+	JZ	ddone
+dloop:
+	VMOVUPD	(R9), Y4             // B step row b0..b3
+	VBROADCASTSD	(R8), Y5
+	VMULPD	Y4, Y5, Y5
+	VADDPD	Y5, Y0, Y0
+	VBROADCASTSD	(R12), Y6
+	VMULPD	Y4, Y6, Y6
+	VADDPD	Y6, Y1, Y1
+	VBROADCASTSD	(R13), Y7
+	VMULPD	Y4, Y7, Y7
+	VADDPD	Y7, Y2, Y2
+	VBROADCASTSD	(R14), Y8
+	VMULPD	Y4, Y8, Y8
+	VADDPD	Y8, Y3, Y3
+	ADDQ	$8, R8
+	ADDQ	$8, R12
+	ADDQ	$8, R13
+	ADDQ	$8, R14
+	ADDQ	R11, R9
+	DECQ	CX
+	JNZ	dloop
+ddone:
+	VMOVUPD	Y0, (DI)
+	VMOVUPD	Y1, (DX)
+	VMOVUPD	Y2, (DX)(SI*1)
+	VMOVUPD	Y3, (BX)
+	VZEROUPPER
+	RET

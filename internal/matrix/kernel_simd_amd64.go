@@ -1,0 +1,25 @@
+//go:build amd64
+
+package matrix
+
+// useSIMD gates the AVX microkernels in kernel_amd64.s. The AVX path
+// uses separate VMULPD/VADDPD (never FMA), so each C element sees
+// exactly the scalar kernel's operation sequence and results stay
+// bitwise identical; the gate is purely a speed switch.
+var useSIMD = cpuHasAVX()
+
+// cpuHasAVX reports CPU and OS support for AVX (CPUID + XGETBV).
+// Implemented in kernel_amd64.s.
+func cpuHasAVX() bool
+
+// micro4x4PackedAVX is micro4x4Packed over the same packed strips.
+// Implemented in kernel_amd64.s.
+//
+//go:noescape
+func micro4x4PackedAVX(c *float64, ldc int, ap, bp *float64, kd int)
+
+// micro4x4DirectAVX is micro4x4Direct reading A and B in place.
+// Implemented in kernel_amd64.s.
+//
+//go:noescape
+func micro4x4DirectAVX(c *float64, ldc int, a *float64, lda int, b *float64, ldb int, kd int)

@@ -1,0 +1,14 @@
+//go:build !amd64
+
+package matrix
+
+// Non-amd64 builds always take the pure-Go microkernels.
+const useSIMD = false
+
+func micro4x4PackedAVX(c *float64, ldc int, ap, bp *float64, kd int) {
+	panic("matrix: SIMD microkernel called on non-amd64 build")
+}
+
+func micro4x4DirectAVX(c *float64, ldc int, a *float64, lda int, b *float64, ldb int, kd int) {
+	panic("matrix: SIMD microkernel called on non-amd64 build")
+}

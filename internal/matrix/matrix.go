@@ -134,18 +134,18 @@ func sameShape(op string, a, b *Dense) {
 	}
 }
 
-// mulBlock is the register/cache tile edge for MulAdd.
-const mulBlock = 64
-
-// Mul returns the product a*b using a cache-blocked ikj kernel.
+// Mul returns the product a*b using the packed register-tiled kernel.
 func Mul(a, b *Dense) *Dense {
 	c := New(a.Rows, b.Cols)
 	MulAdd(c, a, b)
 	return c
 }
 
-// MulAdd computes c += a*b with a cache-blocked ikj kernel.
-// Panics on inner-dimension or output-shape mismatch.
+// MulAdd computes c += a*b with a packed, register-tiled kernel
+// (kernel.go); large multiplies may draw extra workers from the shared
+// pool bounded by SetParallelism. The result is bitwise identical to
+// the reference triple loop at every parallelism level. Panics on
+// inner-dimension or output-shape mismatch.
 func MulAdd(c, a, b *Dense) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("matrix: MulAdd inner dim %d != %d", a.Cols, b.Rows))
@@ -153,30 +153,7 @@ func MulAdd(c, a, b *Dense) {
 	if c.Rows != a.Rows || c.Cols != b.Cols {
 		panic(fmt.Sprintf("matrix: MulAdd output %dx%d != %dx%d", c.Rows, c.Cols, a.Rows, b.Cols))
 	}
-	n, k, m := a.Rows, a.Cols, b.Cols
-	for i0 := 0; i0 < n; i0 += mulBlock {
-		iMax := min(i0+mulBlock, n)
-		for k0 := 0; k0 < k; k0 += mulBlock {
-			kMax := min(k0+mulBlock, k)
-			for j0 := 0; j0 < m; j0 += mulBlock {
-				jMax := min(j0+mulBlock, m)
-				for i := i0; i < iMax; i++ {
-					arow := a.Data[i*k : (i+1)*k]
-					crow := c.Data[i*m : (i+1)*m]
-					for kk := k0; kk < kMax; kk++ {
-						av := arow[kk]
-						if av == 0 {
-							continue
-						}
-						brow := b.Data[kk*m : (kk+1)*m]
-						for j := j0; j < jMax; j++ {
-							crow[j] += av * brow[j]
-						}
-					}
-				}
-			}
-		}
-	}
+	mulAddKernel(c, a, b)
 }
 
 // MulFlops returns the floating-point operation count (multiply-adds
@@ -185,12 +162,27 @@ func MulFlops(r, k, c int) int64 {
 	return 2 * int64(r) * int64(k) * int64(c)
 }
 
-// Transpose returns m transposed.
+// transposeBlock is the square tile edge for Transpose: 32x32 float64
+// tiles (8 KiB source + 8 KiB destination) stay cache-resident, so the
+// strided destination writes hit the same lines repeatedly instead of
+// thrashing — the naive row sweep misses on every write once a row of
+// the destination exceeds the cache (n >= 256 or so).
+const transposeBlock = 32
+
+// Transpose returns m transposed, tile by tile.
 func (m *Dense) Transpose() *Dense {
 	t := New(m.Cols, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		for j := 0; j < m.Cols; j++ {
-			t.Data[j*m.Rows+i] = m.Data[i*m.Cols+j]
+	rows, cols := m.Rows, m.Cols
+	for i0 := 0; i0 < rows; i0 += transposeBlock {
+		iMax := min(i0+transposeBlock, rows)
+		for j0 := 0; j0 < cols; j0 += transposeBlock {
+			jMax := min(j0+transposeBlock, cols)
+			for i := i0; i < iMax; i++ {
+				src := m.Data[i*cols+j0 : i*cols+jMax]
+				for j, v := range src {
+					t.Data[(j0+j)*rows+i] = v
+				}
+			}
 		}
 	}
 	return t

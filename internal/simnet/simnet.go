@@ -31,6 +31,7 @@ package simnet
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -114,7 +115,8 @@ type Msg struct {
 	delay  float64 // injected extra in-flight latency
 	dup    bool    // injected duplicate: payload arrives twice
 	hops   int
-	inDim  int // receiver-side port dimension (highest differing bit)
+	inDim  int         // receiver-side port dimension (highest differing bit)
+	box    *payloadBox // pooled payload buffer, nil for owned/empty payloads
 }
 
 // Words returns the message payload length in words.
@@ -168,6 +170,7 @@ func NewMachine(cfg Config) *Machine {
 			ID:       id,
 			m:        m,
 			inbox:    make(chan *Msg, cap),
+			pend:     make(map[pendKey][]*Msg),
 			sendPort: make([]float64, m.numPorts()),
 			recvPort: make([]float64, m.numPorts()),
 		}
@@ -360,8 +363,16 @@ type Node struct {
 	sendBusy float64   // single outgoing port busy-until (one-port)
 	recvBusy float64   // single incoming port busy-until (one-port)
 
-	inbox   chan *Msg
-	pending []*Msg
+	inbox chan *Msg
+
+	// pend indexes out-of-order arrivals by (source, tag) so match is
+	// O(1) instead of a scan of every parked message. Queues are FIFO
+	// per key; emptied queues keep their backing arrays for reuse. The
+	// mutex exists for Machine.Diagnose, which reads from a watchdog
+	// goroutine — all other access is from the node's own goroutine.
+	pendMu  sync.Mutex
+	pend    map[pendKey][]*Msg
+	pendLen int
 
 	msgs, words, startups, wordHops, flops, retries int64
 	peakWords                                       int
@@ -378,7 +389,15 @@ func (n *Node) reset() {
 	for d := range n.sendPort {
 		n.sendPort[d], n.recvPort[d] = 0, 0
 	}
-	n.pending = n.pending[:0]
+	n.pendMu.Lock()
+	for k, q := range n.pend {
+		for i := range q {
+			q[i] = nil
+		}
+		n.pend[k] = q[:0]
+	}
+	n.pendLen = 0
+	n.pendMu.Unlock()
 	for {
 		select {
 		case <-n.inbox:
@@ -422,30 +441,60 @@ func (n *Node) cost(words, hops int) float64 {
 // Send transmits data (copied) to the destination node with the given
 // tag, charging the e-cube store-and-forward cost to the sender's
 // outgoing port. Send never blocks on simulated time, only on inbox
-// back-pressure.
+// back-pressure. The copy lives in a pooled buffer; a receiver that
+// fully consumes the payload may recycle it with Msg.Release.
 func (n *Node) Send(dst int, tag uint64, data []float64) {
 	n.sendShaped(dst, tag, data, 0, 0)
 }
 
-// SendM transmits a dense matrix block, preserving its shape.
+// SendM transmits a dense matrix block (copied), preserving its shape.
 func (n *Node) SendM(dst int, tag uint64, blk *matrix.Dense) {
 	n.sendShaped(dst, tag, blk.Data, blk.Rows, blk.Cols)
 }
 
+// SendOwned transmits data without the defensive copy, transferring
+// ownership of the slice to the network: the caller must not read or
+// write data after the call. Use it for freshly built buffers the
+// sender provably never touches again — the lockstep collectives'
+// per-step staging buffers are the canonical case.
+func (n *Node) SendOwned(dst int, tag uint64, data []float64) {
+	n.sendCore(dst, tag, data, nil, 0, 0)
+}
+
+// SendMOwned is SendOwned for a shaped matrix block: blk and its Data
+// must not be used by the sender after the call.
+func (n *Node) SendMOwned(dst int, tag uint64, blk *matrix.Dense) {
+	n.sendCore(dst, tag, blk.Data, nil, blk.Rows, blk.Cols)
+}
+
+// sendShaped is the copying path behind Send/SendM: the payload is
+// duplicated into a pooled buffer so the caller keeps ownership of its
+// slice.
 func (n *Node) sendShaped(dst int, tag uint64, data []float64, rows, cols int) {
+	box := getPayload(len(data))
+	var cp []float64
+	if box != nil {
+		cp = box.d
+		copy(cp, data)
+	}
+	n.sendCore(dst, tag, cp, box, rows, cols)
+}
+
+// sendCore submits a payload the network now owns (pooled copy or
+// relinquished caller slice) and charges the transfer.
+func (n *Node) sendCore(dst int, tag uint64, data []float64, box *payloadBox, rows, cols int) {
 	if dst < 0 || dst >= n.m.Cfg.P {
 		panic(fmt.Sprintf("simnet: send to node %d out of range [0,%d)", dst, n.m.Cfg.P))
 	}
 	n.CheckDeadline()
-	cp := make([]float64, len(data))
-	copy(cp, data)
-	msg := &Msg{Src: n.ID, Dst: dst, Tag: tag, Data: cp, Rows: rows, Cols: cols}
+	msg := msgPool.Get().(*Msg)
+	*msg = Msg{Src: n.ID, Dst: dst, Tag: tag, Data: data, Rows: rows, Cols: cols, box: box}
 	if f := n.m.Cfg.Corrupt; f != nil && dst != n.ID {
-		f(n.ID, dst, tag, cp)
+		f(n.ID, dst, tag, data)
 	}
 	if dst == n.ID {
 		msg.depart = n.now
-		n.pending = append(n.pending, msg)
+		n.enqueuePending(msg)
 		return
 	}
 	msg.hops = n.m.hops(n.ID, dst)
@@ -611,13 +660,45 @@ func (n *Node) RecvM(src int, tag uint64) *matrix.Dense {
 	return n.Recv(src, tag).Matrix()
 }
 
+// pendKey identifies a receive rendezvous: messages park and match on
+// exactly (source, tag).
+type pendKey struct {
+	src int
+	tag uint64
+}
+
+// enqueuePending parks a message that no receive is waiting for yet.
+func (n *Node) enqueuePending(msg *Msg) {
+	key := pendKey{msg.Src, msg.Tag}
+	n.pendMu.Lock()
+	n.pend[key] = append(n.pend[key], msg)
+	n.pendLen++
+	n.pendMu.Unlock()
+}
+
+// takePending pops the oldest parked message for key, if any. The
+// backing array is retained (shifted down) so steady-state matching
+// does not allocate.
+func (n *Node) takePending(key pendKey) *Msg {
+	n.pendMu.Lock()
+	defer n.pendMu.Unlock()
+	q := n.pend[key]
+	if len(q) == 0 {
+		return nil
+	}
+	msg := q[0]
+	copy(q, q[1:])
+	q[len(q)-1] = nil
+	n.pend[key] = q[:len(q)-1]
+	n.pendLen--
+	return msg
+}
+
 // match returns the first pending or incoming message from src with tag.
 func (n *Node) match(src int, tag uint64) *Msg {
-	for i, p := range n.pending {
-		if p.Src == src && p.Tag == tag {
-			n.pending = append(n.pending[:i], n.pending[i+1:]...)
-			return p
-		}
+	key := pendKey{src, tag}
+	if msg := n.takePending(key); msg != nil {
+		return msg
 	}
 	n.waitSrc.Store(int64(src))
 	n.waitTag.Store(tag)
@@ -629,7 +710,7 @@ func (n *Node) match(src int, tag uint64) *Msg {
 			if msg.Src == src && msg.Tag == tag {
 				return msg
 			}
-			n.pending = append(n.pending, msg)
+			n.enqueuePending(msg)
 		case <-n.m.down:
 			// The run is being torn down because a peer failed: back
 			// out instead of blocking on a message that will never come.
@@ -640,22 +721,41 @@ func (n *Node) match(src int, tag uint64) *Msg {
 
 // Diagnose reports, for every node currently blocked in a receive, the
 // (source, tag) it waits for and the (source, tag) pairs parked in its
-// pending set. Reads are racy by design — call it from a watchdog while
-// a run appears stalled.
+// pending set (sorted by source then tag for stable output). The
+// waiting flags are racy by design — call it from a watchdog while a
+// run appears stalled; the pending index itself is read under its lock.
 func (m *Machine) Diagnose() string {
 	var sb strings.Builder
 	for _, n := range m.nodes {
 		if !n.waiting.Load() {
 			continue
 		}
+		n.pendMu.Lock()
+		keys := make([]pendKey, 0, len(n.pend))
+		for k, q := range n.pend {
+			if len(q) > 0 {
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].src != keys[j].src {
+				return keys[i].src < keys[j].src
+			}
+			return keys[i].tag < keys[j].tag
+		})
 		fmt.Fprintf(&sb, "node %d waits on (src=%d tag=%#x); inbox=%d pending=[",
 			n.ID, n.waitSrc.Load(), n.waitTag.Load(), len(n.inbox))
-		for i, p := range n.pending {
-			if i > 0 {
-				sb.WriteByte(' ')
+		first := true
+		for _, k := range keys {
+			for range n.pend[k] {
+				if !first {
+					sb.WriteByte(' ')
+				}
+				first = false
+				fmt.Fprintf(&sb, "(%d,%#x)", k.src, k.tag)
 			}
-			fmt.Fprintf(&sb, "(%d,%#x)", p.Src, p.Tag)
 		}
+		n.pendMu.Unlock()
 		sb.WriteString("]\n")
 	}
 	return sb.String()

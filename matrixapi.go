@@ -56,6 +56,15 @@ func MatMul(a, b *Matrix) *Matrix {
 	return fromInternal(matrix.Mul(a.internal(), b.internal()))
 }
 
+// SetKernelParallelism sets the number of OS-level workers the local
+// GEMM kernel may use (minimum 1) and returns the previous setting.
+// Results are bitwise identical at every level; parallelism only
+// changes wall-clock speed, never simulated times.
+func SetKernelParallelism(n int) int { return matrix.SetParallelism(n) }
+
+// KernelParallelism returns the kernel worker budget.
+func KernelParallelism() int { return matrix.Parallelism() }
+
 // MaxAbsDiff returns the largest absolute element-wise difference of
 // two equal-shaped matrices.
 func MaxAbsDiff(a, b *Matrix) float64 {
