@@ -3,12 +3,20 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fuzz chaos bench clean
+.PHONY: check build test race vet fuzz chaos bench serve-smoke clean
 
-check: vet test race
+check: vet build test race server-race
 
 build:
 	$(GO) build ./...
+	$(GO) build -o /dev/null ./cmd/hmmd
+
+# The serving subsystem is concurrency-heavy; run its tests under the
+# race detector even in quick local loops (check also runs the full
+# -race sweep).
+.PHONY: server-race
+server-race:
+	$(GO) test -race ./internal/server ./cmd/hmmd
 
 test:
 	$(GO) test ./...
@@ -34,6 +42,16 @@ fuzz:
 # for a fixed -seed.
 chaos:
 	$(GO) run ./cmd/chaos -seed 1 -cases 12
+
+# Boot hmmd, fire one request through the stress client's load-generator
+# mode, and assert a 200 plus a non-empty /metrics scrape.
+SMOKE_ADDR ?= 127.0.0.1:17117
+serve-smoke:
+	$(GO) build -o /tmp/hmmd-smoke ./cmd/hmmd
+	@/tmp/hmmd-smoke -addr $(SMOKE_ADDR) & pid=$$!; \
+	$(GO) run ./cmd/stress -url http://$(SMOKE_ADDR) -requests 1 -c 1 -n 64 -p 64 -smoke; rc=$$?; \
+	kill -TERM $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	rm -f /tmp/hmmd-smoke; exit $$rc
 
 # Performance snapshot: the hot-path benchmark families (local GEMM
 # kernel, emulator throughput, region-map sweeps, packed-kernel micro

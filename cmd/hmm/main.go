@@ -32,7 +32,7 @@ func main() {
 	)
 	flag.Parse()
 
-	pm, err := parsePorts(*ports)
+	pm, err := hypermm.ParsePortModel(*ports)
 	if err != nil {
 		fatal(err)
 	}
@@ -109,17 +109,6 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("  verification        OK (matches serial product)")
-	}
-}
-
-func parsePorts(s string) (hypermm.PortModel, error) {
-	switch s {
-	case "one", "oneport", "one-port":
-		return hypermm.OnePort, nil
-	case "multi", "multiport", "multi-port":
-		return hypermm.MultiPort, nil
-	default:
-		return 0, fmt.Errorf("unknown port model %q (want one or multi)", s)
 	}
 }
 

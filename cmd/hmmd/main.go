@@ -1,0 +1,109 @@
+// Command hmmd serves distributed matrix multiplications over
+// HTTP/JSON: a cost-model planner picks the paper's cheapest algorithm
+// per request, a bounded scheduler with admission control executes jobs
+// on the simulated hypercube, and /metrics exposes Prometheus counters
+// including the simulated-vs-predicted time ratio.
+//
+// Usage:
+//
+//	hmmd -addr :8080 -workers 4 -queue 16
+//
+// Endpoints:
+//
+//	POST /v1/matmul    run a multiplication ("algorithm": "auto" picks the winner)
+//	GET  /v1/plan      cost-model plan without running anything
+//	GET  /v1/regionmap Figure 13/14-style best-algorithm map (text)
+//	GET  /healthz      ok, or 503 while draining
+//	GET  /metrics      Prometheus text exposition
+//
+// SIGTERM or SIGINT begins a graceful shutdown: intake stops (503),
+// in-flight and queued jobs drain, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hypermm/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is main's testable body; ready (when non-nil) receives the bound
+// listen address once the server accepts connections.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("hmmd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address")
+		workers = fs.Int("workers", 4, "scheduler worker pool size")
+		queue   = fs.Int("queue", 0, "scheduler queue depth (0: 2x workers)")
+		cache   = fs.Int("cache", 1024, "planner LRU cache entries")
+		maxN    = fs.Int("maxn", 1024, "largest accepted matrix size")
+		maxP    = fs.Int("maxp", 4096, "largest accepted machine size")
+		drain   = fs.Duration("drain", 30*time.Second, "shutdown drain budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	srv := server.New(server.Config{
+		Workers: *workers, QueueDepth: *queue, CacheSize: *cache,
+		MaxN: *maxN, MaxP: *maxP,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "hmmd:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "hmmd listening on %s (workers=%d queue=%d)\n",
+		ln.Addr(), *workers, *queue)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "hmmd:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting connections and wait for
+	// in-flight HTTP requests, then drain the scheduler's jobs.
+	fmt.Fprintln(stdout, "hmmd: draining...")
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	code := 0
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(stderr, "hmmd: http shutdown:", err)
+		code = 1
+	}
+	if err := srv.Drain(dctx); err != nil {
+		fmt.Fprintln(stderr, "hmmd: scheduler drain:", err)
+		code = 1
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(stderr, "hmmd:", err)
+		code = 1
+	}
+	fmt.Fprintln(stdout, "hmmd: drained, exiting")
+	return code
+}

@@ -1,12 +1,27 @@
-// Command stress hammers one algorithm repeatedly on a large machine
-// with a stall watchdog, printing simnet deadlock diagnostics if a run
-// wedges. A development tool for shaking out message-matching bugs.
+// Command stress has two modes.
+//
+// Emulator mode (default): hammers one algorithm repeatedly on a large
+// simulated machine with a stall watchdog, printing simnet deadlock
+// diagnostics if a run wedges. A development tool for shaking out
+// message-matching bugs.
+//
+// Load-generator mode (-url): drives a running hmmd daemon with
+// concurrent POST /v1/matmul requests and reports status counts and
+// latency quantiles; -smoke additionally scrapes /metrics and fails
+// unless the scrape is non-empty. The serve-smoke make target uses it.
+//
+//	stress -url http://127.0.0.1:8080 -requests 64 -c 8 -n 64 -p 64
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"sort"
+	"strings"
+	"sync"
 	"time"
 
 	"hypermm/internal/algorithms"
@@ -16,12 +31,25 @@ import (
 
 func main() {
 	var (
-		p      = flag.Int("p", 1024, "processors")
+		p      = flag.Int("p", 1024, "processors (emulator mode) or machine size (load mode)")
 		n      = flag.Int("n", 256, "matrix size")
-		trials = flag.Int("trials", 20, "repetitions")
-		stall  = flag.Duration("stall", 20*time.Second, "watchdog timeout per trial")
+		trials = flag.Int("trials", 20, "repetitions (emulator mode)")
+		stall  = flag.Duration("stall", 20*time.Second, "watchdog timeout per trial (emulator mode)")
+
+		url      = flag.String("url", "", "hmmd base URL; switches to load-generator mode")
+		requests = flag.Int("requests", 16, "total requests to fire (load mode)")
+		conc     = flag.Int("c", 4, "concurrent clients (load mode)")
+		alg      = flag.String("alg", "auto", "algorithm to request (load mode)")
+		verify   = flag.Bool("verify", true, "ask the server to verify results (load mode)")
+		smoke    = flag.Bool("smoke", false, "smoke mode: wait for the server, fire requests, assert 200s and a non-empty /metrics")
+		wait     = flag.Duration("wait", 10*time.Second, "how long to wait for the server to come up (load mode)")
 	)
 	flag.Parse()
+
+	if *url != "" {
+		os.Exit(loadGenerate(*url, *requests, *conc, *n, *p, *alg, *verify, *smoke, *wait))
+	}
+
 	A := matrix.Random(*n, *n, 1)
 	B := matrix.Random(*n, *n, 2)
 	for trial := 0; trial < *trials; trial++ {
@@ -47,4 +75,100 @@ func main() {
 		}
 		fmt.Printf("trial %d ok\n", trial)
 	}
+}
+
+// loadGenerate drives hmmd and returns the process exit code.
+func loadGenerate(base string, requests, conc, n, p int, alg string, verify, smoke bool, wait time.Duration) int {
+	base = strings.TrimRight(base, "/")
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	// Wait for the daemon to accept connections (smoke boots it fresh).
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "stress: server at %s never came up: %v\n", base, err)
+			return 1
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	body := fmt.Sprintf(`{"n": %d, "p": %d, "algorithm": %q, "verify": %v}`, n, p, alg, verify)
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		statuses  = map[int]int{}
+	)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range work {
+				t0 := time.Now()
+				resp, err := client.Post(base+"/v1/matmul", "application/json", strings.NewReader(body))
+				lat := time.Since(t0)
+				code := -1
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					code = resp.StatusCode
+				}
+				mu.Lock()
+				latencies = append(latencies, lat)
+				statuses[code]++
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < requests; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	quant := func(q float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	fmt.Printf("%d requests to %s (n=%d p=%d alg=%s, %d clients)\n", requests, base, n, p, alg, conc)
+	codes := make([]int, 0, len(statuses))
+	for c := range statuses {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Printf("  status %3d  x%d\n", c, statuses[c])
+	}
+	fmt.Printf("  latency p50 %v  p99 %v\n", quant(0.5), quant(0.99))
+
+	ok := statuses[200] == requests
+	if smoke {
+		resp, err := client.Get(base + "/metrics")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stress: /metrics:", err)
+			return 1
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 || len(data) == 0 || !strings.Contains(string(data), "hmmd_jobs_total") {
+			fmt.Fprintf(os.Stderr, "stress: /metrics scrape bad (status %d, %d bytes)\n", resp.StatusCode, len(data))
+			return 1
+		}
+		fmt.Printf("  /metrics ok (%d bytes)\n", len(data))
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "stress: not every request returned 200")
+		return 1
+	}
+	return 0
 }

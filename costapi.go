@@ -52,6 +52,24 @@ func RegionMap(ports PortModel, ts, tw float64,
 	return rm.Render()
 }
 
+// Candidates returns the algorithm set BestAlgorithm and RegionMap
+// choose from on the given machine model (the paper's Section 5
+// comparison set).
+func Candidates(ports PortModel) []Algorithm {
+	cas := cost.DefaultCandidates(ports.internal())
+	out := make([]Algorithm, len(cas))
+	for i, ca := range cas {
+		out[i] = fromCostAlg(ca)
+	}
+	return out
+}
+
+// ComputeTime is the perfectly parallel computation time 2 n^3 t_c / p —
+// the compute half of TotalTime.
+func ComputeTime(n, p, tc float64) float64 {
+	return cost.ComputeTime(n, p, tc)
+}
+
 // BestAlgorithm returns the algorithm with the least analytic
 // communication time at (n, p), or ok=false if none applies. The
 // candidate set matches RegionMap's.

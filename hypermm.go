@@ -147,6 +147,19 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 	}
 }
 
+// ParsePortModel resolves a command-line or request name ("one",
+// "multi", "one-port", ...) to a PortModel, mirroring ParseAlgorithm.
+func ParsePortModel(s string) (PortModel, error) {
+	switch s {
+	case "one", "oneport", "one-port":
+		return OnePort, nil
+	case "multi", "multiport", "multi-port":
+		return MultiPort, nil
+	default:
+		return 0, fmt.Errorf("hypermm: unknown port model %q (try one or multi)", s)
+	}
+}
+
 // Name returns the short command-line name of the algorithm.
 func (a Algorithm) Name() string {
 	switch a {

@@ -63,6 +63,23 @@ func TestParseAlgorithmRoundTrip(t *testing.T) {
 	}
 }
 
+func TestParsePortModelRoundTrip(t *testing.T) {
+	for _, pm := range []PortModel{OnePort, MultiPort} {
+		got, err := ParsePortModel(pm.String())
+		if err != nil || got != pm {
+			t.Errorf("ParsePortModel(%q) = %v, %v", pm.String(), got, err)
+		}
+	}
+	for _, s := range []string{"one", "oneport", "multi", "multiport"} {
+		if _, err := ParsePortModel(s); err != nil {
+			t.Errorf("ParsePortModel(%q): %v", s, err)
+		}
+	}
+	if _, err := ParsePortModel("zero"); err == nil {
+		t.Error("accepted bogus port model name")
+	}
+}
+
 func TestMatrixHelpers(t *testing.T) {
 	a := RandomMatrix(4, 4, 9)
 	i := IdentityMatrix(4)

@@ -1,0 +1,45 @@
+package server_test
+
+import (
+	"fmt"
+
+	"hypermm"
+	"hypermm/internal/server"
+)
+
+// The planner wraps Table 2's cost model behind a cache: ask it what to
+// run for a given problem and machine, and it returns the winning
+// algorithm with predicted overheads and per-candidate diagnostics —
+// the same selection flow POST /v1/matmul uses for "algorithm": "auto".
+func ExamplePlanner_Plan() {
+	pl := server.NewPlanner(128)
+	plan, err := pl.Plan(server.PlanRequest{
+		N: 4096, P: 64, Ts: 150, Tw: 3, Tc: 0.5, Ports: hypermm.OnePort,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("chosen: %s (auto=%v)\n", plan.AlgorithmName, plan.Auto)
+	fmt.Printf("predicted comm time: %.0f\n", plan.CommTime)
+	for _, c := range plan.Candidates {
+		if c.Applicable {
+			fmt.Printf("  %-8s comm=%.0f\n", c.Algorithm, c.CommTime)
+		}
+	}
+	// A repeated request is a cache hit.
+	if _, err := pl.Plan(server.PlanRequest{
+		N: 4096, P: 64, Ts: 150, Tw: 3, Tc: 0.5, Ports: hypermm.OnePort,
+	}); err != nil {
+		panic(err)
+	}
+	hits, misses := pl.CacheStats()
+	fmt.Printf("cache: %d hit, %d miss\n", hits, misses)
+	// Output:
+	// chosen: 3dall (auto=true)
+	// predicted comm time: 7865520
+	//   cannon   comm=15731640
+	//   berntsen comm=10225416
+	//   3dd      comm=25167024
+	//   3dall    comm=7865520
+	// cache: 1 hit, 1 miss
+}

@@ -1,0 +1,440 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"hypermm"
+)
+
+// Config sizes the serving subsystem.
+type Config struct {
+	Workers    int // worker pool size (default 4)
+	QueueDepth int // bounded queue (default 2 * Workers)
+	CacheSize  int // planner LRU entries (default 1024)
+	MaxN       int // largest accepted matrix size (default 1024)
+	MaxP       int // largest accepted machine size (default 4096)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = 4
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.CacheSize < 1 {
+		c.CacheSize = 1024
+	}
+	if c.MaxN < 1 {
+		c.MaxN = 1024
+	}
+	if c.MaxP < 1 {
+		c.MaxP = 4096
+	}
+	return c
+}
+
+// Server wires the planner, scheduler and metrics behind an HTTP API.
+type Server struct {
+	cfg     Config
+	planner *Planner
+	sched   *Scheduler
+	metrics *Metrics
+}
+
+// New builds a ready-to-serve Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := NewMetrics()
+	return &Server{
+		cfg:     cfg,
+		planner: NewPlanner(cfg.CacheSize),
+		sched:   NewScheduler(cfg.Workers, cfg.QueueDepth, m),
+		metrics: m,
+	}
+}
+
+// Metrics exposes the registry (for tests and the daemon).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Planner exposes the planner (for tests and the daemon).
+func (s *Server) Planner() *Planner { return s.planner }
+
+// Drain stops job intake and waits (bounded by ctx) for admitted jobs
+// to finish; /healthz reports draining and new jobs get 503.
+func (s *Server) Drain(ctx context.Context) error { return s.sched.Drain(ctx) }
+
+// Handler returns the route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/matmul", s.handleMatmul)
+	mux.HandleFunc("/v1/plan", s.handlePlan)
+	mux.HandleFunc("/v1/regionmap", s.handleRegionMap)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// FaultSpec is the request-level fault plan for chaos-in-prod testing;
+// fields mirror hypermm.FaultPlan.
+type FaultSpec struct {
+	Seed       uint64  `json:"seed"`
+	Drop       float64 `json:"drop"`
+	Dup        float64 `json:"dup"`
+	DelayProb  float64 `json:"delay_prob"`
+	DelayTime  float64 `json:"delay_time"`
+	MaxRetries int     `json:"max_retries"`
+	AckTimeout float64 `json:"ack_timeout"`
+	Backoff    float64 `json:"backoff"`
+	// Down lists [src, dst, from, to] outage windows; src/dst -1 match
+	// every node and to <= 0 means forever.
+	Down [][4]float64 `json:"down"`
+}
+
+func (f *FaultSpec) plan() *hypermm.FaultPlan {
+	if f == nil {
+		return nil
+	}
+	fp := &hypermm.FaultPlan{
+		Seed: f.Seed, Drop: f.Drop, Dup: f.Dup,
+		DelayProb: f.DelayProb, DelayTime: f.DelayTime,
+		MaxRetries: f.MaxRetries, AckTimeout: f.AckTimeout, Backoff: f.Backoff,
+	}
+	for _, w := range f.Down {
+		to := w[3]
+		if to <= 0 {
+			to = hypermm.Forever
+		}
+		fp.Down = append(fp.Down, hypermm.Window{Src: int(w[0]), Dst: int(w[1]), From: w[2], To: to})
+	}
+	return fp
+}
+
+// MatmulRequest is the POST /v1/matmul body. Operands come either from
+// Seed (deterministic server-side generation) or inline row-major A/B.
+type MatmulRequest struct {
+	N         int        `json:"n"`
+	P         int        `json:"p"`
+	Ports     string     `json:"ports"`     // "one" (default) or "multi"
+	Ts        *float64   `json:"ts"`        // default 150
+	Tw        *float64   `json:"tw"`        // default 3
+	Tc        *float64   `json:"tc"`        // default 0.5
+	Algorithm string     `json:"algorithm"` // "auto" (default) or a name
+	Seed      int64      `json:"seed"`      // operand seed (default 1)
+	A         []float64  `json:"a,omitempty"`
+	B         []float64  `json:"b,omitempty"`
+	Verify    bool       `json:"verify"`
+	Trace     bool       `json:"trace"`
+	Deadline  float64    `json:"deadline"` // simulated-time budget, 0 = none
+	Fault     *FaultSpec `json:"fault,omitempty"`
+	ReturnC   bool       `json:"return_matrix"`
+}
+
+// MatmulResponse is the POST /v1/matmul reply.
+type MatmulResponse struct {
+	Algorithm string         `json:"algorithm"`
+	Auto      bool           `json:"auto"`
+	N         int            `json:"n"`
+	P         int            `json:"p"`
+	Ports     string         `json:"ports"`
+	Predicted *Plan          `json:"predicted"`
+	Simulated SimulatedStats `json:"simulated"`
+	Ratio     float64        `json:"ratio"`
+	Verified  *bool          `json:"verified,omitempty"`
+	WallMs    float64        `json:"wall_ms"`
+	C         []float64      `json:"c,omitempty"`
+	Gantt     string         `json:"gantt,omitempty"`
+	TraceSum  string         `json:"trace_summary,omitempty"`
+}
+
+// SimulatedStats is the emulator's measured side of the response.
+type SimulatedStats struct {
+	Elapsed  float64 `json:"elapsed"`
+	Msgs     int64   `json:"msgs"`
+	Words    int64   `json:"words"`
+	Startups int64   `json:"startups"`
+	Flops    int64   `json:"flops"`
+	Retries  int64   `json:"retries"`
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+// errStatus maps subsystem errors to HTTP statuses.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrSaturated):
+		return http.StatusTooManyRequests // 429: admission control
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable // 503: shutting down
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrInapplicable):
+		return http.StatusUnprocessableEntity // 422: model says no
+	case errors.Is(err, hypermm.ErrLinkDown):
+		return http.StatusBadGateway // 502: injected network fault
+	case errors.Is(err, hypermm.ErrDeadline):
+		return http.StatusGatewayTimeout // 504: simulated deadline
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return 499 // client gave up (nginx convention)
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func (s *Server) handleMatmul(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req MatmulRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
+		return
+	}
+	if req.N < 1 || req.N > s.cfg.MaxN {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("n=%d out of range [1, %d]", req.N, s.cfg.MaxN))
+		return
+	}
+	if req.P < 1 || req.P > s.cfg.MaxP {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("p=%d out of range [1, %d]", req.P, s.cfg.MaxP))
+		return
+	}
+	ports, err := parsePortsDefault(req.Ports)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ts, tw, tc := orDefault(req.Ts, 150), orDefault(req.Tw, 3), orDefault(req.Tc, 0.5)
+
+	preq := PlanRequest{N: float64(req.N), P: float64(req.P), Ts: ts, Tw: tw, Tc: tc, Ports: ports}
+	auto := req.Algorithm == "" || req.Algorithm == "auto"
+	if !auto {
+		alg, perr := hypermm.ParseAlgorithm(req.Algorithm)
+		if perr != nil {
+			writeErr(w, http.StatusBadRequest, perr)
+			return
+		}
+		preq.Alg = &alg
+	}
+	plan, err := s.planner.Plan(preq)
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+
+	A, B, err := operands(&req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	job := Job{
+		Plan: plan,
+		Cfg: hypermm.Config{
+			P: req.P, Ports: ports, Ts: ts, Tw: tw, Tc: tc,
+			Faults: req.Fault.plan(), Deadline: req.Deadline,
+		},
+		A: A, B: B, Trace: req.Trace, Verify: req.Verify,
+	}
+	jr, err := s.sched.Submit(r.Context(), job)
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+
+	resp := MatmulResponse{
+		Algorithm: plan.AlgorithmName, Auto: plan.Auto,
+		N: req.N, P: req.P, Ports: ports.String(),
+		Predicted: plan,
+		Simulated: SimulatedStats{
+			Elapsed: jr.Res.Elapsed, Msgs: jr.Res.Comm.Msgs, Words: jr.Res.Comm.Words,
+			Startups: jr.Res.Comm.Startups, Flops: jr.Res.Comm.Flops, Retries: jr.Res.Comm.Retries,
+		},
+		Ratio:  jr.Ratio,
+		WallMs: float64(jr.Wall.Microseconds()) / 1000,
+	}
+	if req.Verify {
+		ok := true
+		resp.Verified = &ok
+	}
+	if req.ReturnC {
+		resp.C = jr.Res.C.Data
+	}
+	if jr.Trace != nil {
+		resp.Gantt = jr.Trace.Gantt(100)
+		resp.TraceSum = jr.Trace.Summary()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// operands builds A and B from inline data or the request seed.
+func operands(req *MatmulRequest) (A, B *hypermm.Matrix, err error) {
+	n := req.N
+	if len(req.A) == 0 && len(req.B) == 0 {
+		seed := req.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		return hypermm.RandomMatrix(n, n, seed), hypermm.RandomMatrix(n, n, seed+1), nil
+	}
+	if len(req.A) != n*n || len(req.B) != n*n {
+		return nil, nil, fmt.Errorf("inline operands must both be n*n=%d values (got %d and %d)",
+			n*n, len(req.A), len(req.B))
+	}
+	return &hypermm.Matrix{Rows: n, Cols: n, Data: req.A},
+		&hypermm.Matrix{Rows: n, Cols: n, Data: req.B}, nil
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	q := r.URL.Query()
+	n, err := queryFloat(q.Get("n"), 0)
+	if err != nil || n < 1 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("need a numeric n >= 1, got %q", q.Get("n")))
+		return
+	}
+	p, err := queryFloat(q.Get("p"), 0) // 0: planner searches machine sizes
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ts, err1 := queryFloat(q.Get("ts"), 150)
+	tw, err2 := queryFloat(q.Get("tw"), 3)
+	tc, err3 := queryFloat(q.Get("tc"), 0.5)
+	if err := errors.Join(err1, err2, err3); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ports, err := parsePortsDefault(q.Get("ports"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	preq := PlanRequest{N: n, P: p, Ts: ts, Tw: tw, Tc: tc, Ports: ports}
+	if alg := q.Get("alg"); alg != "" && alg != "auto" {
+		a, perr := hypermm.ParseAlgorithm(alg)
+		if perr != nil {
+			writeErr(w, http.StatusBadRequest, perr)
+			return
+		}
+		preq.Alg = &a
+	}
+	plan, err := s.planner.Plan(preq)
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, plan)
+}
+
+func (s *Server) handleRegionMap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	q := r.URL.Query()
+	ports, err := parsePortsDefault(q.Get("ports"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ts, err1 := queryFloat(q.Get("ts"), 150)
+	tw, err2 := queryFloat(q.Get("tw"), 3)
+	// Figure 13/14 axes by default: logN in [4, 14], logP in [2, 16].
+	lnMin, err3 := queryFloat(q.Get("lognmin"), 4)
+	lnMax, err4 := queryFloat(q.Get("lognmax"), 14)
+	lpMin, err5 := queryFloat(q.Get("logpmin"), 2)
+	lpMax, err6 := queryFloat(q.Get("logpmax"), 16)
+	nSteps, err7 := queryInt(q.Get("nsteps"), 61)
+	pSteps, err8 := queryInt(q.Get("psteps"), 29)
+	if err := errors.Join(err1, err2, err3, err4, err5, err6, err7, err8); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if nSteps < 2 || pSteps < 2 || nSteps > 512 || pSteps > 512 ||
+		lnMax <= lnMin || lpMax <= lpMin {
+		writeErr(w, http.StatusBadRequest, errors.New("region map axes out of range"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, hypermm.RegionMap(ports, ts, tw, lnMin, lnMax, nSteps, lpMin, lpMax, pSteps))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.sched.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.planner.CacheStats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, s.metrics.Render(hits, misses))
+}
+
+func parsePortsDefault(s string) (hypermm.PortModel, error) {
+	if s == "" {
+		return hypermm.OnePort, nil
+	}
+	return hypermm.ParsePortModel(s)
+}
+
+func orDefault(v *float64, def float64) float64 {
+	if v == nil {
+		return def
+	}
+	return *v
+}
+
+func queryFloat(s string, def float64) (float64, error) {
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad numeric parameter %q", s)
+	}
+	return v, nil
+}
+
+func queryInt(s string, def int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer parameter %q", s)
+	}
+	return v, nil
+}

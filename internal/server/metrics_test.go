@@ -1,0 +1,86 @@
+package server
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricsRender(t *testing.T) {
+	m := NewMetrics()
+	m.QueueAdd(3)
+	m.InflightAdd(1)
+	m.JobDone("3dall", 2*time.Millisecond, 1.02)
+	m.JobDone("3dall", 4*time.Millisecond, 0.98)
+	m.JobDone("cannon", 100*time.Millisecond, 1.3)
+	m.Reject()
+	m.Reject()
+	m.JobError("link_down")
+
+	out := m.Render(7, 2)
+	for _, want := range []string{
+		"hmmd_queue_depth 3",
+		"hmmd_inflight_jobs 1",
+		`hmmd_jobs_total{algorithm="3dall"} 2`,
+		`hmmd_jobs_total{algorithm="cannon"} 1`,
+		"hmmd_rejects_total 2",
+		`hmmd_job_errors_total{kind="link_down"} 1`,
+		"hmmd_plan_cache_hits_total 7",
+		"hmmd_plan_cache_misses_total 2",
+		"hmmd_job_latency_seconds_count 3",
+		`hmmd_job_latency_quantile_seconds{q="0.5"}`,
+		`hmmd_job_latency_quantile_seconds{q="0.99"}`,
+		"hmmd_sim_predicted_ratio_count 3",
+		`hmmd_sim_predicted_ratio_bucket{le="+Inf"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 1.7, 3, 100} {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	h.render(&sb, "x", "test")
+	out := sb.String()
+	for _, want := range []string{
+		`x_bucket{le="1"} 1`,
+		`x_bucket{le="2"} 3`,
+		`x_bucket{le="4"} 4`,
+		`x_bucket{le="+Inf"} 5`,
+		"x_count 5",
+		"x_sum 106.7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	// 100 samples uniform over (0, 4]: the median lands near 2.
+	for i := 1; i <= 100; i++ {
+		h.Observe(4 * float64(i) / 100)
+	}
+	if q := h.Quantile(0.5); math.Abs(q-2) > 0.3 {
+		t.Errorf("p50 = %g, want ~2", q)
+	}
+	if q := h.Quantile(0.99); q < 3 || q > 4 {
+		t.Errorf("p99 = %g, want in (3, 4]", q)
+	}
+	// Observations beyond the last bound clamp to it.
+	h2 := NewHistogram([]float64{1, 2})
+	h2.Observe(50)
+	if q := h2.Quantile(0.5); q != 2 {
+		t.Errorf("overflow quantile = %g, want last bound 2", q)
+	}
+}

@@ -1,0 +1,209 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"hypermm"
+)
+
+// Typed scheduler errors, mapped to HTTP statuses by the handlers.
+var (
+	// ErrSaturated reports that the bounded queue is full (admission
+	// control); the handlers answer 429.
+	ErrSaturated = errors.New("server: scheduler saturated, try again later")
+	// ErrDraining reports that the scheduler has stopped accepting work
+	// for shutdown; the handlers answer 503.
+	ErrDraining = errors.New("server: scheduler draining")
+)
+
+// Job is one multiplication to execute on the simulated hypercube.
+type Job struct {
+	Plan   *Plan
+	Cfg    hypermm.Config
+	A, B   *hypermm.Matrix
+	Trace  bool // capture a per-node timeline
+	Verify bool // check against the serial product
+}
+
+// JobResult is the outcome of one executed Job.
+type JobResult struct {
+	Res   *hypermm.Result
+	Trace *hypermm.Trace
+	// Ratio is simulated elapsed time over the plan's predicted time —
+	// the cost model's accuracy on this very job (0 when undefined).
+	Ratio float64
+	Wall  time.Duration
+	Err   error
+}
+
+type task struct {
+	ctx  context.Context
+	job  Job
+	done chan *JobResult // buffered(1); worker posts exactly once
+}
+
+// Scheduler is a bounded worker pool with admission control: at most
+// queueDepth jobs wait while workers execute. Submit is synchronous;
+// Drain stops intake and finishes everything already admitted.
+type Scheduler struct {
+	queue    chan *task
+	stopped  chan struct{} // closed when every worker has exited
+	metrics  *Metrics
+	mu       sync.Mutex // guards draining and the queue send
+	draining bool
+
+	// onExec, when non-nil, runs at the start of every job execution.
+	// Tests use it to hold a worker in place and make saturation and
+	// drain scenarios deterministic; production leaves it nil.
+	onExec func()
+}
+
+// NewScheduler starts workers goroutines consuming a queue of depth
+// queueDepth (both forced to at least 1).
+func NewScheduler(workers, queueDepth int, m *Metrics) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	s := &Scheduler{
+		queue:   make(chan *task, queueDepth),
+		stopped: make(chan struct{}),
+		metrics: m,
+	}
+	workerDone := make(chan struct{}, workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer func() { workerDone <- struct{}{} }()
+			for t := range s.queue {
+				s.metrics.QueueAdd(-1)
+				s.execute(t)
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < workers; i++ {
+			<-workerDone
+		}
+		close(s.stopped)
+	}()
+	return s
+}
+
+// Submit enqueues the job and waits for its result. It returns
+// ErrSaturated immediately when the queue is full, ErrDraining after
+// Drain has begun, and ctx.Err() if the caller gives up first (the job
+// itself still runs to completion and is recorded in the metrics).
+func (s *Scheduler) Submit(ctx context.Context, job Job) (*JobResult, error) {
+	t := &task{ctx: ctx, job: job, done: make(chan *JobResult, 1)}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	select {
+	case s.queue <- t:
+		s.metrics.QueueAdd(1)
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		s.metrics.Reject()
+		return nil, ErrSaturated
+	}
+
+	select {
+	case r := <-t.done:
+		if r.Err != nil {
+			return r, r.Err
+		}
+		return r, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Drain stops intake, lets the workers finish every admitted job, and
+// waits for them (bounded by ctx). Safe to call more than once.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.stopped:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Drain has begun.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// execute runs one task and posts its result.
+func (s *Scheduler) execute(t *task) {
+	if err := t.ctx.Err(); err != nil {
+		t.done <- &JobResult{Err: err}
+		return
+	}
+	if s.onExec != nil {
+		s.onExec()
+	}
+	s.metrics.InflightAdd(1)
+	defer s.metrics.InflightAdd(-1)
+
+	start := time.Now()
+	var (
+		res *hypermm.Result
+		tr  *hypermm.Trace
+		err error
+	)
+	if t.job.Trace {
+		res, tr, err = hypermm.RunTraced(t.job.Plan.Algorithm, t.job.Cfg, t.job.A, t.job.B)
+	} else {
+		res, err = hypermm.Run(t.job.Plan.Algorithm, t.job.Cfg, t.job.A, t.job.B)
+	}
+	wall := time.Since(start)
+
+	if err == nil && t.job.Verify {
+		tol := 1e-8 * float64(t.job.A.Rows)
+		if verr := hypermm.Verify(t.job.A, t.job.B, res.C, tol); verr != nil {
+			err = verr
+			s.metrics.JobError("verify")
+		}
+	} else if err != nil {
+		s.metrics.JobError(errKind(err))
+	}
+
+	r := &JobResult{Res: res, Trace: tr, Wall: wall, Err: err}
+	if err == nil {
+		if pt := t.job.Plan.PredictedTime; pt > 0 {
+			r.Ratio = res.Elapsed / pt
+		}
+		s.metrics.JobDone(t.job.Plan.AlgorithmName, wall, r.Ratio)
+	}
+	t.done <- r
+}
+
+// errKind buckets a job error for the hmmd_job_errors_total metric.
+func errKind(err error) string {
+	switch {
+	case errors.Is(err, hypermm.ErrLinkDown):
+		return "link_down"
+	case errors.Is(err, hypermm.ErrDeadline):
+		return "deadline"
+	default:
+		return "run"
+	}
+}

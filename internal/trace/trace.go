@@ -122,13 +122,19 @@ func (l *Log) Span() float64 {
 	return span
 }
 
+// minGanttWidth is the narrowest rendering Gantt accepts. Anything
+// narrower — including zero and negative widths, which would otherwise
+// panic in strings.Repeat or index out of range — is clamped up to it.
+const minGanttWidth = 8
+
 // Gantt renders one timeline row per node, width columns wide:
 // '#' compute, 's' port busy sending, 'r' port busy receiving,
 // '.' idle. Overlapping events (multi-port machines) are overlaid with
-// compute taking precedence, then send, then recv.
+// compute taking precedence, then send, then recv. Widths below
+// minGanttWidth (including width < 1) are clamped, never an error.
 func (l *Log) Gantt(width int) string {
-	if width < 8 {
-		width = 8
+	if width < minGanttWidth {
+		width = minGanttWidth
 	}
 	evs := l.Events()
 	if len(evs) == 0 {

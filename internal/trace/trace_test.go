@@ -50,6 +50,26 @@ func TestGanttRendering(t *testing.T) {
 	}
 }
 
+func TestGanttNarrowWidthClamped(t *testing.T) {
+	// Regression: width < 1 (and anything below the minimum) must clamp
+	// to minGanttWidth instead of panicking in strings.Repeat or
+	// misrendering a zero-column chart.
+	l := New()
+	l.Add(Event{Node: 0, Kind: Compute, Start: 0, End: 10})
+	l.Add(Event{Node: 1, Kind: Send, Start: 0, End: 10, Peer: 0})
+	want := l.Gantt(minGanttWidth)
+	for _, w := range []int{0, -1, -100, 1, minGanttWidth - 1} {
+		got := l.Gantt(w)
+		if got != want {
+			t.Errorf("Gantt(%d) differs from Gantt(%d):\n%s", w, minGanttWidth, got)
+		}
+		row := strings.Split(got, "\n")[1]
+		if !strings.Contains(row, strings.Repeat("#", minGanttWidth)) {
+			t.Errorf("Gantt(%d) node 0 row not clamped: %q", w, row)
+		}
+	}
+}
+
 func TestGanttPrecedence(t *testing.T) {
 	// Overlapping compute wins over send over recv.
 	l := New()

@@ -27,7 +27,9 @@ func RunTraced(alg Algorithm, cfg Config, A, B *Matrix) (*Result, *Trace, error)
 }
 
 // Gantt renders the timeline as one text row per node, width columns
-// wide ('#' compute, 's' send, 'r' receive, '.' idle).
+// wide ('#' compute, 's' send, 'r' receive, '.' idle). Widths below a
+// small minimum — including zero and negative values — are clamped to
+// that minimum rather than misrendering.
 func (t *Trace) Gantt(width int) string { return t.log.Gantt(width) }
 
 // Summary returns per-node busy-time totals and the overall
