@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fuzz chaos bench serve-smoke clean
+.PHONY: check build test race vet fuzz chaos bench serve-smoke calibrate-smoke clean
 
 check: vet build test race server-race
 
@@ -37,6 +37,7 @@ fuzz:
 	$(GO) test ./internal/collective -run XXX -fuzz FuzzReduceShapes -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/collective -run XXX -fuzz FuzzReduceScatterShapes -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/matrix -run XXX -fuzz FuzzGridBlockRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/calibrate -run XXX -fuzz FuzzProfileParse -fuzztime $(FUZZTIME)
 
 # Differential verification harness under fault injection; deterministic
 # for a fixed -seed.
@@ -53,10 +54,23 @@ serve-smoke:
 	kill -TERM $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
 	rm -f /tmp/hmmd-smoke; exit $$rc
 
+# Run the calibration pipeline end to end on a small grid and require
+# a valid, assertion-clean profile: the fit must stay within a generous
+# error bound and the empirical region maps must agree with the
+# analytic ones on at least half the cells at both paper settings.
+CALIBRATE_OUT ?= /tmp/hmmd-calibration-smoke.json
+calibrate-smoke:
+	$(GO) run ./cmd/calibrate -ns 16,32 -ps 4,16,64 \
+		-assert-maxerr 0.5 -assert-maxdiff 0.5 -o $(CALIBRATE_OUT)
+	@test -s $(CALIBRATE_OUT) || { echo "calibrate-smoke: empty profile"; exit 1; }
+	@rm -f $(CALIBRATE_OUT)
+
 # Performance snapshot: the hot-path benchmark families (local GEMM
 # kernel, emulator throughput, region-map sweeps, packed-kernel micro
-# benches), parsed into BENCH_kernel.json. BENCHTIME=1x gives a cheap
-# CI smoke; the default gives stable numbers.
+# benches) into BENCH_kernel.json, plus the collective scaling
+# trajectory (broadcast / all-gather / reduce-scatter at p=8 and p=64)
+# into BENCH_collectives.json. BENCHTIME=1x gives a cheap CI smoke; the
+# default gives stable numbers.
 BENCHTIME ?= 0.5s
 bench:
 	( $(GO) test -run XXX -bench '^BenchmarkLocalMatMul$$|^BenchmarkEmulatorThroughput$$|^BenchmarkFig13|^BenchmarkFig14' \
@@ -64,6 +78,8 @@ bench:
 	  $(GO) test -run XXX -bench '^BenchmarkMulAdd|^BenchmarkTranspose' \
 		-benchmem -benchtime $(BENCHTIME) ./internal/matrix ) \
 	| $(GO) run ./cmd/bench2json -o BENCH_kernel.json
+	$(GO) test -run XXX -bench '^BenchmarkCollective_' -benchtime $(BENCHTIME) . \
+	| $(GO) run ./cmd/bench2json -o BENCH_collectives.json
 
 clean:
 	$(GO) clean ./...

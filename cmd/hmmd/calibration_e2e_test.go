@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"hypermm"
+	"hypermm/internal/calibrate"
+)
+
+// TestCalibratedServing is the end-to-end calibration pipeline: run a
+// real measurement sweep, fit a profile, write it to disk, boot the
+// daemon with -calibration, and check that plans are marked calibrated
+// with predictions that differ from the raw Table 2 model.
+func TestCalibratedServing(t *testing.T) {
+	sweep, err := calibrate.Run(calibrate.Spec{
+		Ports: hypermm.OnePort, Ns: []int{16, 32}, Ps: []int{4, 16, 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, err := calibrate.Fit(sweep, 150, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := profile.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "profile.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	var mu sync.Mutex
+	ready := make(chan string, 1)
+	exited := make(chan int, 1)
+	go func() {
+		exited <- run([]string{"-addr", "127.0.0.1:0", "-workers", "1", "-calibration", path},
+			lockedWriter{&mu, &stdout}, lockedWriter{&mu, &stderr}, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not start")
+	}
+	base := "http://" + addr
+
+	get := func(path string) (int, []byte) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, data
+	}
+
+	// /v1/calibration serves the loaded profile back.
+	code, body := get("/v1/calibration")
+	if code != 200 {
+		t.Fatalf("/v1/calibration = %d: %s", code, body)
+	}
+	served, err := calibrate.Parse(body)
+	if err != nil {
+		t.Fatalf("served profile invalid: %v", err)
+	}
+	if served.TsEff != profile.TsEff || served.TwEff != profile.TwEff {
+		t.Errorf("served profile (%g, %g) != written (%g, %g)",
+			served.TsEff, served.TwEff, profile.TsEff, profile.TwEff)
+	}
+
+	// Plans are calibrated, and the calibrated prediction differs from
+	// the preserved raw Table 2 one.
+	code, body = get("/v1/plan?n=256&p=64")
+	if code != 200 {
+		t.Fatalf("/v1/plan = %d: %s", code, body)
+	}
+	var plan struct {
+		Calibrated       bool    `json:"calibrated"`
+		PredictedTime    float64 `json:"predicted_time"`
+		UncalibratedTime float64 `json:"uncalibrated_time"`
+	}
+	if err := json.Unmarshal(body, &plan); err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Calibrated {
+		t.Errorf("plan not marked calibrated: %s", body)
+	}
+	if plan.UncalibratedTime == 0 || plan.PredictedTime == plan.UncalibratedTime {
+		t.Errorf("calibrated prediction %g vs uncalibrated %g: want both set and different",
+			plan.PredictedTime, plan.UncalibratedTime)
+	}
+
+	code, body = get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if !strings.Contains(string(body), "hmmd_calibration_loaded 1") {
+		t.Error("metrics missing hmmd_calibration_loaded 1")
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exited:
+		if code != 0 {
+			mu.Lock()
+			defer mu.Unlock()
+			t.Fatalf("run exited %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !strings.Contains(stdout.String(), "calibration profile") {
+		t.Errorf("startup log missing calibration line:\n%s", stdout.String())
+	}
+}
+
+func TestCalibrationFlagRejectsBadProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"version": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code := run([]string{"-calibration", path}, &out, &out, nil); code != 1 {
+		t.Errorf("bad profile exit = %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "version") {
+		t.Errorf("error output does not mention the version: %s", out.String())
+	}
+	if code := run([]string{"-calibration", filepath.Join(t.TempDir(), "missing.json")}, &out, &out, nil); code != 1 {
+		t.Error("missing profile file did not fail startup")
+	}
+}

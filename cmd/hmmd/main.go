@@ -7,14 +7,20 @@
 // Usage:
 //
 //	hmmd -addr :8080 -workers 4 -queue 16
+//	hmmd -calibration profile.json   # plan with a cmd/calibrate profile
 //
 // Endpoints:
 //
-//	POST /v1/matmul    run a multiplication ("algorithm": "auto" picks the winner)
-//	GET  /v1/plan      cost-model plan without running anything
-//	GET  /v1/regionmap Figure 13/14-style best-algorithm map (text)
-//	GET  /healthz      ok, or 503 while draining
-//	GET  /metrics      Prometheus text exposition
+//	POST /v1/matmul      run a multiplication ("algorithm": "auto" picks the winner)
+//	GET  /v1/plan        cost-model plan without running anything
+//	GET  /v1/regionmap   Figure 13/14-style best-algorithm map (text)
+//	GET  /v1/calibration the loaded calibration profile (404 without one)
+//	GET  /healthz        ok, or 503 while draining
+//	GET  /metrics        Prometheus text exposition
+//
+// With -calibration, plans are marked "calibrated": true and predicted
+// times come from the measurement-fitted model instead of the raw
+// Table 2 expressions.
 //
 // SIGTERM or SIGINT begins a graceful shutdown: intake stops (503),
 // in-flight and queued jobs drain, then the process exits.
@@ -33,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"hypermm/internal/calibrate"
 	"hypermm/internal/server"
 )
 
@@ -53,15 +60,32 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		maxN    = fs.Int("maxn", 1024, "largest accepted matrix size")
 		maxP    = fs.Int("maxp", 4096, "largest accepted machine size")
 		drain   = fs.Duration("drain", 30*time.Second, "shutdown drain budget")
+		calib   = fs.String("calibration", "", "calibration profile JSON (from cmd/calibrate); empty: raw Table 2 model")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	srv := server.New(server.Config{
+	var profile *calibrate.Profile
+	if *calib != "" {
+		p, err := calibrate.Load(*calib)
+		if err != nil {
+			fmt.Fprintln(stderr, "hmmd:", err)
+			return 1
+		}
+		profile = p
+		fmt.Fprintf(stdout, "hmmd: calibration profile %s loaded (%s-port, t_s eff %.4g, t_w eff %.4g, max rel err %.1f%%)\n",
+			*calib, profile.PortModel, profile.TsEff, profile.TwEff, 100*profile.MaxRelErr())
+	}
+
+	srv, err := server.New(server.Config{
 		Workers: *workers, QueueDepth: *queue, CacheSize: *cache,
-		MaxN: *maxN, MaxP: *maxP,
+		MaxN: *maxN, MaxP: *maxP, Calibration: profile,
 	})
+	if err != nil {
+		fmt.Fprintln(stderr, "hmmd:", err)
+		return 1
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(stderr, "hmmd:", err)

@@ -188,6 +188,10 @@ func (a Algorithm) Name() string {
 	}
 }
 
+// Letter returns the single-letter key used in region maps and
+// calibration diff reports (matches the legend of RegionMap).
+func (a Algorithm) Letter() byte { return a.costAlg().Letter() }
+
 // runner returns the SPMD implementation of the algorithm.
 func (a Algorithm) runner() func(*simnet.Machine, *matrix.Dense, *matrix.Dense) (*matrix.Dense, simnet.RunStats, error) {
 	switch a {

@@ -1,0 +1,180 @@
+package calibrate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hypermm"
+)
+
+// Fit fits the calibration profile to a measured sweep at the given
+// reference machine parameters (the nominal t_s, t_w the profile will
+// mostly serve; they weight the fit).
+//
+// Stage 1 — effective machine parameters. Every cell contributes one
+// observation: the measured time T_i = refTs*A_i + refTw*B_i against
+// the analytic prediction ts*a_i + tw*b_i with (a_i, b_i) from Table 2.
+// We solve the 2x2 normal equations of the relative least-squares
+// problem
+//
+//	min over (ts, tw) of sum_i ((T_i - ts*a_i - tw*b_i) / R_i)^2
+//
+// where R_i = refTs*a_i + refTw*b_i is the analytic time at the
+// reference parameters. Dividing by R_i makes each cell count equally;
+// unweighted least squares would be dominated by the largest (n, p)
+// cells, whose absolute times are orders of magnitude bigger.
+//
+// Stage 2 — per-algorithm residual corrections. With (tsEff, twEff)
+// fixed, each algorithm gets the multiplicative factor minimizing its
+// own relative squared residual: c = sum(y*q) / sum(q*q) over the
+// algorithm's cells, with y = T_i/R_i and q = (tsEff*a_i+twEff*b_i)/R_i.
+// The factor absorbs systematic model bias Table 2 cannot express —
+// pipelining undercutting sequential phase bounds, ragged multi-port
+// slices.
+//
+// The returned profile also carries per-algorithm prediction-error
+// statistics for both the raw analytic model and the calibrated one,
+// evaluated at the reference parameters.
+func Fit(s *Sweep, refTs, refTw float64) (*Profile, error) {
+	if !(refTs > 0) || !(refTw > 0) {
+		return nil, fmt.Errorf("calibrate: reference parameters must be positive, got ts=%g tw=%g", refTs, refTw)
+	}
+
+	type obs struct {
+		m      Measurement
+		aA, bA float64 // analytic Table 2 coefficients
+		tMeas  float64 // measured time at (refTs, refTw)
+		tAna   float64 // analytic time at (refTs, refTw)
+	}
+	var observations []obs
+	for _, m := range s.Cells {
+		aA, bA, ok := hypermm.Overhead(m.Alg, float64(m.N), float64(m.P), s.Spec.Ports)
+		if !ok {
+			continue // emulator ran it but the model calls it inapplicable; don't fit what we can't predict
+		}
+		tAna := refTs*aA + refTw*bA
+		if !(tAna > 0) {
+			continue
+		}
+		observations = append(observations, obs{m: m, aA: aA, bA: bA, tMeas: m.Time(refTs, refTw), tAna: tAna})
+	}
+	if len(observations) < 2 {
+		return nil, fmt.Errorf("calibrate: only %d usable cells, need at least 2", len(observations))
+	}
+
+	// Stage 1: 2x2 normal equations in the relative-residual space.
+	var saa, sab, sbb, say, sby float64
+	for _, o := range observations {
+		xa, xb, y := o.aA/o.tAna, o.bA/o.tAna, o.tMeas/o.tAna
+		saa += xa * xa
+		sab += xa * xb
+		sbb += xb * xb
+		say += xa * y
+		sby += xb * y
+	}
+	tsEff, twEff := refTs, refTw
+	if det := saa*sbb - sab*sab; math.Abs(det) > 1e-12 {
+		tsEff = (say*sbb - sby*sab) / det
+		twEff = (sby*saa - say*sab) / det
+	}
+	// A degenerate sweep (e.g. every cell startup-dominated) can drive a
+	// parameter nonpositive; clamp to the nominal value rather than
+	// emitting a profile no parser would accept.
+	if !(tsEff > 0) || math.IsNaN(tsEff) || math.IsInf(tsEff, 0) {
+		tsEff = refTs
+	}
+	if !(twEff > 0) || math.IsNaN(twEff) || math.IsInf(twEff, 0) {
+		twEff = refTw
+	}
+
+	// Stage 2: per-algorithm ratio fit and error statistics.
+	perAlg := map[string]*AlgCalibration{}
+	type accum struct{ yq, qq float64 }
+	acc := map[string]*accum{}
+	for _, o := range observations {
+		name := o.m.Alg.Name()
+		a, ok := acc[name]
+		if !ok {
+			a = &accum{}
+			acc[name] = a
+		}
+		q := (tsEff*o.aA + twEff*o.bA) / o.tAna
+		y := o.tMeas / o.tAna
+		a.yq += y * q
+		a.qq += q * q
+	}
+	for name, a := range acc {
+		c := 1.0
+		if a.qq > 0 {
+			c = a.yq / a.qq
+		}
+		if !(c > 0) || math.IsNaN(c) || math.IsInf(c, 0) {
+			c = 1
+		}
+		perAlg[name] = &AlgCalibration{Correction: c}
+	}
+	for _, o := range observations {
+		ac := perAlg[o.m.Alg.Name()]
+		tCal := ac.Correction * (tsEff*o.aA + twEff*o.bA)
+		relCal := math.Abs(tCal-o.tMeas) / o.tMeas
+		relAna := math.Abs(o.tAna-o.tMeas) / o.tMeas
+		ac.Cells++
+		ac.MeanRelErr += relCal
+		ac.UncalMeanRelErr += relAna
+		if relCal > ac.MaxRelErr {
+			ac.MaxRelErr = relCal
+			ac.WorstN, ac.WorstP = o.m.N, o.m.P
+		}
+		if relAna > ac.UncalMaxRelErr {
+			ac.UncalMaxRelErr = relAna
+		}
+	}
+	algs := map[string]AlgCalibration{}
+	for name, ac := range perAlg {
+		ac.MeanRelErr /= float64(ac.Cells)
+		ac.UncalMeanRelErr /= float64(ac.Cells)
+		algs[name] = *ac
+	}
+
+	return &Profile{
+		Version:    ProfileVersion,
+		PortModel:  portName(s.Spec.Ports),
+		RefTs:      refTs,
+		RefTw:      refTw,
+		TsEff:      tsEff,
+		TwEff:      twEff,
+		Ns:         append([]int(nil), s.Spec.Ns...),
+		Ps:         append([]int(nil), s.Spec.Ps...),
+		Algorithms: algs,
+	}, nil
+}
+
+// MaxRelErr returns the largest calibrated per-cell relative error in
+// the profile across all algorithms.
+func (p *Profile) MaxRelErr() float64 {
+	var worst float64
+	for _, ac := range p.Algorithms {
+		if ac.MaxRelErr > worst {
+			worst = ac.MaxRelErr
+		}
+	}
+	return worst
+}
+
+// sortedAlgNames returns the profile's algorithm names in stable order.
+func (p *Profile) sortedAlgNames() []string {
+	names := make([]string, 0, len(p.Algorithms))
+	for name := range p.Algorithms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func portName(pm hypermm.PortModel) string {
+	if pm == hypermm.MultiPort {
+		return "multi"
+	}
+	return "one"
+}

@@ -1,0 +1,54 @@
+package calibrate
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzProfileParse checks the profile parser's invariant: whatever
+// bytes arrive, Parse either rejects them or returns a profile whose
+// every coefficient is safe to plan with — positive, finite, known
+// algorithm names, a buildable model. The daemon loads these files at
+// startup, so an accepted-but-poisoned profile would corrupt every
+// plan it serves.
+func FuzzProfileParse(f *testing.F) {
+	good, err := goodProfile().Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":1,"port_model":"one","ref_ts":150,"ref_tw":3,"ts_eff":-1,"tw_eff":3,"algorithms":{"cannon":{"correction":1,"cells":1}}}`))
+	f.Add([]byte(`{"version":1,"port_model":"one","ref_ts":150,"ref_tw":3,"ts_eff":1e999,"tw_eff":3,"algorithms":{"cannon":{"correction":0,"cells":1}}}`))
+	f.Add([]byte(`{"version":1,"port_model":"multi","ref_ts":1,"ref_tw":1,"ts_eff":1,"tw_eff":1,"ps":[3],"algorithms":{"3dd":{"correction":1,"cells":2}}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(data)
+		if err != nil {
+			return // rejected: fine
+		}
+		if p.Version != ProfileVersion {
+			t.Fatalf("accepted version %d", p.Version)
+		}
+		for _, v := range []float64{p.RefTs, p.RefTw, p.TsEff, p.TwEff} {
+			if !(v > 0) || math.IsInf(v, 0) || math.IsNaN(v) {
+				t.Fatalf("accepted non-positive/non-finite parameter %g in %s", v, data)
+			}
+		}
+		if len(p.Algorithms) == 0 {
+			t.Fatalf("accepted profile without algorithms: %s", data)
+		}
+		for name, ac := range p.Algorithms {
+			if !(ac.Correction > 0) || math.IsInf(ac.Correction, 0) || math.IsNaN(ac.Correction) {
+				t.Fatalf("accepted correction %g for %s", ac.Correction, name)
+			}
+			if ac.Cells < 1 {
+				t.Fatalf("accepted cells=%d for %s", ac.Cells, name)
+			}
+		}
+		if _, err := p.Model(); err != nil {
+			t.Fatalf("accepted profile does not build a model: %v", err)
+		}
+	})
+}

@@ -1,0 +1,131 @@
+package calibrate
+
+import (
+	"strings"
+	"testing"
+)
+
+// goodProfile returns a minimal valid profile for mutation tests.
+func goodProfile() *Profile {
+	return &Profile{
+		Version:   ProfileVersion,
+		PortModel: "one",
+		RefTs:     150, RefTw: 3,
+		TsEff: 148.5, TwEff: 2.9,
+		Ns: []int{16, 32},
+		Ps: []int{4, 16},
+		Algorithms: map[string]AlgCalibration{
+			"cannon": {Correction: 1.02, Cells: 4, MaxRelErr: 0.05, MeanRelErr: 0.02,
+				UncalMaxRelErr: 0.1, UncalMeanRelErr: 0.04, WorstN: 32, WorstP: 16},
+		},
+	}
+}
+
+func TestProfileRoundTrip(t *testing.T) {
+	p := goodProfile()
+	data, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := q.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Errorf("round trip changed profile:\n%s\nvs\n%s", data, data2)
+	}
+	m, err := q.Model()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil {
+		t.Fatal("valid profile produced nil model")
+	}
+}
+
+func TestParseRejectsBadProfiles(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Profile)
+		want   string
+	}{
+		{"wrong version", func(p *Profile) { p.Version = 99 }, "version"},
+		{"bad port model", func(p *Profile) { p.PortModel = "warp" }, "port model"},
+		{"zero ref ts", func(p *Profile) { p.RefTs = 0 }, "ref_ts"},
+		{"negative ts eff", func(p *Profile) { p.TsEff = -1 }, "ts_eff"},
+		{"no algorithms", func(p *Profile) { p.Algorithms = nil }, "no algorithm"},
+		{"unknown algorithm", func(p *Profile) {
+			p.Algorithms["hyperwarp"] = p.Algorithms["cannon"]
+		}, "algorithm"},
+		{"negative correction", func(p *Profile) {
+			ac := p.Algorithms["cannon"]
+			ac.Correction = -0.5
+			p.Algorithms["cannon"] = ac
+		}, "correction"},
+		{"zero cells", func(p *Profile) {
+			ac := p.Algorithms["cannon"]
+			ac.Cells = 0
+			p.Algorithms["cannon"] = ac
+		}, "cells"},
+		{"negative error stat", func(p *Profile) {
+			ac := p.Algorithms["cannon"]
+			ac.MaxRelErr = -0.1
+			p.Algorithms["cannon"] = ac
+		}, "max_rel_err"},
+		{"bad sweep n", func(p *Profile) { p.Ns = []int{0} }, "n=0"},
+		{"non-power-of-two p", func(p *Profile) { p.Ps = []int{6} }, "power of two"},
+	}
+	for _, tc := range cases {
+		p := goodProfile()
+		tc.mutate(p)
+		data, err := p.Marshal()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", tc.name, err)
+		}
+		if _, err := Parse(data); err == nil {
+			t.Errorf("%s: Parse accepted invalid profile", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseRejectsMalformedJSON(t *testing.T) {
+	for _, data := range []string{
+		"",
+		"{",
+		"[]",
+		`{"version": "one"}`,
+		`{"version": 1, "ts_eff": "NaN"}`,
+	} {
+		if _, err := Parse([]byte(data)); err == nil {
+			t.Errorf("Parse accepted %q", data)
+		}
+	}
+}
+
+// Non-finite floats cannot be expressed in JSON literals, but a
+// hand-edited profile can smuggle huge exponents that overflow to +Inf
+// on some paths or omit required fields (Go zero values). Both must be
+// rejected.
+func TestParseRejectsMissingFields(t *testing.T) {
+	if _, err := Parse([]byte(`{"version": 1, "port_model": "one"}`)); err == nil {
+		t.Error("Parse accepted profile with zero-valued parameters")
+	}
+	huge := `{"version":1,"port_model":"one","ref_ts":150,"ref_tw":3,` +
+		`"ts_eff":1e999,"tw_eff":3,"ns":[16],"ps":[4],` +
+		`"algorithms":{"cannon":{"correction":1,"cells":1}}}`
+	if _, err := Parse([]byte(huge)); err == nil {
+		t.Error("Parse accepted profile with overflowing ts_eff")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(t.TempDir() + "/nope.json"); err == nil {
+		t.Error("Load of a missing file succeeded")
+	}
+}

@@ -1,0 +1,115 @@
+package calibrate
+
+import (
+	"fmt"
+	"strings"
+
+	"hypermm"
+)
+
+// MapDiff is an empirical best-algorithm region map — the winner at
+// every sweep cell by *measured* communication time — diffed cell by
+// cell against the analytic Figure 13/14 winner at the same (n, p)
+// under the same (t_s, t_w). Only algorithms actually measured at a
+// cell compete on either side, so the diff isolates model error from
+// emulator coverage.
+type MapDiff struct {
+	Ts, Tw float64
+	Ports  hypermm.PortModel
+	Ns, Ps []int
+	// Empirical and Analytic hold the winners' letters indexed
+	// [pi][ni]; '.' marks cells with no measurement.
+	Empirical, Analytic [][]byte
+	// Cells counts cells with at least one measurement; Disagreements
+	// counts those whose winners differ.
+	Cells, Disagreements int
+}
+
+// NewMapDiff evaluates the empirical and analytic winner at every
+// sweep cell under machine parameters (ts, tw).
+func NewMapDiff(s *Sweep, ts, tw float64) *MapDiff {
+	d := &MapDiff{Ts: ts, Tw: tw, Ports: s.Spec.Ports,
+		Ns: append([]int(nil), s.Spec.Ns...), Ps: append([]int(nil), s.Spec.Ps...)}
+
+	byCell := map[[2]int][]Measurement{}
+	for _, m := range s.Cells {
+		k := [2]int{m.N, m.P}
+		byCell[k] = append(byCell[k], m)
+	}
+
+	for _, p := range d.Ps {
+		empRow := make([]byte, len(d.Ns))
+		anaRow := make([]byte, len(d.Ns))
+		for ni, n := range d.Ns {
+			empRow[ni], anaRow[ni] = '.', '.'
+			ms := byCell[[2]int{n, p}]
+			if len(ms) == 0 {
+				continue
+			}
+			var empBest, anaBest hypermm.Algorithm
+			empT, anaT := 0.0, 0.0
+			first := true
+			for _, m := range ms {
+				et := m.Time(ts, tw)
+				at, ok := hypermm.CommTime(m.Alg, float64(n), float64(p), ts, tw, s.Spec.Ports)
+				if !ok {
+					continue
+				}
+				if first || et < empT {
+					empBest, empT = m.Alg, et
+				}
+				if first || at < anaT {
+					anaBest, anaT = m.Alg, at
+				}
+				first = false
+			}
+			if first {
+				continue
+			}
+			empRow[ni], anaRow[ni] = empBest.Letter(), anaBest.Letter()
+			d.Cells++
+			if empBest != anaBest {
+				d.Disagreements++
+			}
+		}
+		d.Empirical = append(d.Empirical, empRow)
+		d.Analytic = append(d.Analytic, anaRow)
+	}
+	return d
+}
+
+// Fraction is the share of measured cells whose empirical winner
+// disagrees with the analytic one (0 with no cells).
+func (d *MapDiff) Fraction() float64 {
+	if d.Cells == 0 {
+		return 0
+	}
+	return float64(d.Disagreements) / float64(d.Cells)
+}
+
+// Render draws the two maps side by side, rows p descending like the
+// paper's figures, marking disagreeing cells with '!' in a third
+// column.
+func (d *MapDiff) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Empirical vs. analytic best-algorithm map (%v, t_s=%g, t_w=%g)\n", d.Ports, d.Ts, d.Tw)
+	fmt.Fprintf(&sb, "%-10s %-*s  %-*s  %s\n", "", len(d.Ns), "meas", len(d.Ns), "model", "diff")
+	for pi := len(d.Ps) - 1; pi >= 0; pi-- {
+		diff := make([]byte, len(d.Ns))
+		for ni := range d.Ns {
+			if d.Empirical[pi][ni] != d.Analytic[pi][ni] {
+				diff[ni] = '!'
+			} else {
+				diff[ni] = ' '
+			}
+		}
+		fmt.Fprintf(&sb, "p=%-7d %s  %s  %s\n", d.Ps[pi], d.Empirical[pi], d.Analytic[pi], diff)
+	}
+	sb.WriteString("n =        ")
+	for _, n := range d.Ns {
+		fmt.Fprintf(&sb, "%d ", n)
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "disagreement: %d/%d cells (%.1f%%)\n", d.Disagreements, d.Cells, 100*d.Fraction())
+	return sb.String()
+}

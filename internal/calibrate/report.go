@@ -1,0 +1,80 @@
+package calibrate
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hypermm"
+)
+
+// ErrorReport renders the profile's per-algorithm prediction accuracy
+// as a text table: the fitted correction, the raw analytic model's
+// relative errors, and the calibrated model's, with the worst cell.
+func ErrorReport(p *Profile) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Calibration fit (%s-port, ref t_s=%g t_w=%g)\n", p.PortModel, p.RefTs, p.RefTw)
+	fmt.Fprintf(&sb, "effective t_s=%.6g (x%.4f)  effective t_w=%.6g (x%.4f)\n",
+		p.TsEff, p.TsEff/p.RefTs, p.TwEff, p.TwEff/p.RefTw)
+	fmt.Fprintf(&sb, "%-10s %6s %10s | %9s %9s | %9s %9s %12s\n",
+		"algorithm", "cells", "correction", "ana max", "ana mean", "cal max", "cal mean", "worst cell")
+	for _, name := range p.sortedAlgNames() {
+		ac := p.Algorithms[name]
+		fmt.Fprintf(&sb, "%-10s %6d %10.4f | %8.1f%% %8.1f%% | %8.1f%% %8.1f%% n=%-4d p=%d\n",
+			name, ac.Cells, ac.Correction,
+			100*ac.UncalMaxRelErr, 100*ac.UncalMeanRelErr,
+			100*ac.MaxRelErr, 100*ac.MeanRelErr,
+			ac.WorstN, ac.WorstP)
+	}
+	return sb.String()
+}
+
+// VolumeRow compares one cell's measured communication volume against
+// the memory-independent communication lower bounds for matrix
+// multiplication (Ballard, Demmel, Holtz, Lipshitz, Schwartz,
+// arXiv:1202.3177).
+type VolumeRow struct {
+	Alg  hypermm.Algorithm
+	N, P int
+	// WordsPerProc is the measured average payload words sent per
+	// processor.
+	WordsPerProc float64
+	// Bound3D is the memory-independent per-processor lower bound
+	// n^2 / p^(2/3) that holds for any (even replication-heavy "3D")
+	// schedule; Bound2D is the minimal-memory bound n^2 / p^(1/2).
+	Bound3D, Bound2D float64
+	// Ratio is WordsPerProc / Bound3D: how far above the unbeatable
+	// floor the algorithm's measured traffic sits.
+	Ratio float64
+}
+
+// VolumeRows computes the lower-bound comparison for every sweep cell.
+func VolumeRows(s *Sweep) []VolumeRow {
+	rows := make([]VolumeRow, 0, len(s.Cells))
+	for _, m := range s.Cells {
+		n2 := float64(m.N) * float64(m.N)
+		b3 := n2 / math.Pow(float64(m.P), 2.0/3)
+		b2 := n2 / math.Sqrt(float64(m.P))
+		wpp := float64(m.Words) / float64(m.P)
+		rows = append(rows, VolumeRow{
+			Alg: m.Alg, N: m.N, P: m.P,
+			WordsPerProc: wpp, Bound3D: b3, Bound2D: b2, Ratio: wpp / b3,
+		})
+	}
+	return rows
+}
+
+// VolumeReport renders the measured-communication-volume table. Every
+// ratio must be >= 1 up to rounding: measured traffic below the lower
+// bound would mean the emulator is not counting words it moves.
+func VolumeReport(s *Sweep) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Measured communication volume vs. memory-independent lower bounds (arXiv:1202.3177)\n")
+	fmt.Fprintf(&sb, "%-10s %5s %6s %14s %14s %14s %8s\n",
+		"algorithm", "n", "p", "words/proc", "n^2/p^(2/3)", "n^2/p^(1/2)", "ratio")
+	for _, r := range VolumeRows(s) {
+		fmt.Fprintf(&sb, "%-10s %5d %6d %14.1f %14.1f %14.1f %8.2f\n",
+			r.Alg.Name(), r.N, r.P, r.WordsPerProc, r.Bound3D, r.Bound2D, r.Ratio)
+	}
+	return sb.String()
+}

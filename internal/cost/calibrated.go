@@ -1,0 +1,71 @@
+package cost
+
+import "hypermm/internal/simnet"
+
+// CalibratedModel wraps the analytic Table 2 model with empirically
+// fitted corrections: global scale factors on the machine parameters
+// (effective t_s and t_w relative to their nominal values) and a
+// multiplicative per-algorithm residual factor absorbing whatever the
+// closed forms miss (pipelining undercutting the sequential phase
+// bounds, ragged multi-port slices, ...). A nil *CalibratedModel is the
+// identity — every method falls back to the uncalibrated analytic
+// model — so callers can thread one pointer through unconditionally.
+type CalibratedModel struct {
+	// TsScale and TwScale map nominal machine parameters to effective
+	// ones: effective t_s = TsScale * t_s. Both 1 for a perfect model.
+	TsScale, TwScale float64
+	// Corr is the per-algorithm multiplicative residual on the
+	// communication time; algorithms not present use 1.
+	Corr map[Alg]float64
+}
+
+// correction returns the residual factor for alg (1 when absent).
+func (m *CalibratedModel) correction(alg Alg) float64 {
+	if m == nil {
+		return 1
+	}
+	if c, ok := m.Corr[alg]; ok && c > 0 {
+		return c
+	}
+	return 1
+}
+
+// Time is the calibrated communication time
+// Corr[alg] * (t_s*TsScale*a + t_w*TwScale*b); applicability is
+// unchanged from the analytic model.
+func (m *CalibratedModel) Time(alg Alg, n, p, ts, tw float64, pm simnet.PortModel) (float64, bool) {
+	if m == nil {
+		return Time(alg, n, p, ts, tw, pm)
+	}
+	t, ok := Time(alg, n, p, ts*m.TsScale, tw*m.TwScale, pm)
+	if !ok {
+		return 0, false
+	}
+	return m.correction(alg) * t, true
+}
+
+// TotalTime is the calibrated communication time plus the (uncorrected)
+// perfectly parallel computation time.
+func (m *CalibratedModel) TotalTime(alg Alg, n, p, ts, tw, tc float64, pm simnet.PortModel) (float64, bool) {
+	c, ok := m.Time(alg, n, p, ts, tw, pm)
+	if !ok {
+		return 0, false
+	}
+	return c + ComputeTime(n, p, tc), true
+}
+
+// Best returns the candidate with the least calibrated communication
+// time at (n, p), or ok=false if none applies.
+func (m *CalibratedModel) Best(n, p, ts, tw float64, pm simnet.PortModel, algs []Alg) (Alg, bool) {
+	best, bestT, found := Alg(0), 0.0, false
+	for _, alg := range algs {
+		t, ok := m.Time(alg, n, p, ts, tw, pm)
+		if !ok {
+			continue
+		}
+		if !found || t < bestT {
+			best, bestT, found = alg, t, true
+		}
+	}
+	return best, found
+}

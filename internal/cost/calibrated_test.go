@@ -1,0 +1,87 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"hypermm/internal/simnet"
+)
+
+func TestCalibratedNilIsAnalytic(t *testing.T) {
+	var m *CalibratedModel
+	for _, pm := range bothPorts {
+		for _, alg := range Algorithms {
+			got, gok := m.Time(alg, 64, 16, 150, 3, pm)
+			want, wok := Time(alg, 64, 16, 150, 3, pm)
+			if gok != wok || got != want {
+				t.Errorf("%v %v: nil model %g/%v, analytic %g/%v", pm, alg, got, gok, want, wok)
+			}
+		}
+	}
+}
+
+func TestCalibratedScalingAndCorrection(t *testing.T) {
+	m := &CalibratedModel{TsScale: 2, TwScale: 0.5, Corr: map[Alg]float64{Cannon: 1.25}}
+	n, p := 64.0, 16.0
+	for _, alg := range []Alg{Cannon, Berntsen} {
+		scaled, ok := Time(alg, n, p, 2*150, 0.5*3, simnet.OnePort)
+		if !ok {
+			t.Fatalf("%v inapplicable at n=%g p=%g", alg, n, p)
+		}
+		want := scaled
+		if alg == Cannon {
+			want *= 1.25
+		}
+		got, ok := m.Time(alg, n, p, 150, 3, simnet.OnePort)
+		if !ok {
+			t.Fatalf("calibrated %v inapplicable", alg)
+		}
+		if math.Abs(got-want) > 1e-9*want {
+			t.Errorf("%v: calibrated time %g, want %g", alg, got, want)
+		}
+	}
+}
+
+func TestCalibratedTotalTimeAddsCompute(t *testing.T) {
+	m := &CalibratedModel{TsScale: 1, TwScale: 1}
+	comm, ok := m.Time(Cannon, 64, 16, 150, 3, simnet.OnePort)
+	if !ok {
+		t.Fatal("cannon inapplicable")
+	}
+	total, ok := m.TotalTime(Cannon, 64, 16, 150, 3, 0.5, simnet.OnePort)
+	if !ok {
+		t.Fatal("cannon total inapplicable")
+	}
+	if want := comm + ComputeTime(64, 16, 0.5); math.Abs(total-want) > 1e-9*want {
+		t.Errorf("total %g, want %g", total, want)
+	}
+}
+
+func TestCalibratedInapplicableStaysInapplicable(t *testing.T) {
+	m := &CalibratedModel{TsScale: 1, TwScale: 1}
+	// One-port 3dall is inapplicable at p=4096, n=16 (analytic Table 3);
+	// calibration must not resurrect it.
+	if _, ok := m.Time(ThreeAll, 16, 4096, 150, 3, simnet.OnePort); ok {
+		t.Error("calibrated model made an inapplicable algorithm applicable")
+	}
+}
+
+// TestCalibratedBestRespectsCorrection builds a correction large enough
+// to flip the winner: whatever the analytic best is, penalizing it 100x
+// must dethrone it.
+func TestCalibratedBestRespectsCorrection(t *testing.T) {
+	cands := DefaultCandidates(simnet.OnePort)
+	var nilModel *CalibratedModel
+	ana, ok := nilModel.Best(64, 16, 150, 3, simnet.OnePort, cands)
+	if !ok {
+		t.Fatal("no analytic best at n=64 p=16")
+	}
+	m := &CalibratedModel{TsScale: 1, TwScale: 1, Corr: map[Alg]float64{ana: 100}}
+	cal, ok := m.Best(64, 16, 150, 3, simnet.OnePort, cands)
+	if !ok {
+		t.Fatal("no calibrated best at n=64 p=16")
+	}
+	if cal == ana {
+		t.Errorf("100x penalty on %v did not change the winner", ana)
+	}
+}

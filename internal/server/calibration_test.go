@@ -1,0 +1,155 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"hypermm/internal/calibrate"
+)
+
+// testProfile is a hand-built valid calibration profile whose effective
+// parameters differ measurably from the nominal reference, so
+// calibrated and uncalibrated predictions cannot coincide.
+func testProfile(t *testing.T) *calibrate.Profile {
+	t.Helper()
+	p := &calibrate.Profile{
+		Version:   calibrate.ProfileVersion,
+		PortModel: "one",
+		RefTs:     150, RefTw: 3,
+		TsEff: 120, TwEff: 2.4,
+		Ns: []int{16, 32},
+		Ps: []int{4, 16},
+		Algorithms: map[string]calibrate.AlgCalibration{
+			"cannon": {Correction: 0.9, Cells: 4},
+			"3dd":    {Correction: 0.85, Cells: 4},
+		},
+	}
+	// Round-trip through Parse so the fixture is exactly what a file
+	// load would produce (and stays valid as the schema evolves).
+	data, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := calibrate.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func getJSON(t *testing.T, url string, v any) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, v); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+	}
+	return resp.StatusCode, data
+}
+
+func TestPlanCalibratedDiffersFromUncalibrated(t *testing.T) {
+	plain := httptest.NewServer(mustNew(t, Config{}).Handler())
+	defer plain.Close()
+	cal := httptest.NewServer(mustNew(t, Config{Calibration: testProfile(t)}).Handler())
+	defer cal.Close()
+
+	const query = "/v1/plan?n=256&p=64"
+	var base, calibrated Plan
+	if code, data := getJSON(t, plain.URL+query, &base); code != http.StatusOK {
+		t.Fatalf("uncalibrated plan: status %d: %s", code, data)
+	}
+	if code, data := getJSON(t, cal.URL+query, &calibrated); code != http.StatusOK {
+		t.Fatalf("calibrated plan: status %d: %s", code, data)
+	}
+
+	if base.Calibrated {
+		t.Error("plan without profile marked calibrated")
+	}
+	if base.UncalibratedTime != 0 {
+		t.Errorf("plan without profile has uncalibrated_time %g", base.UncalibratedTime)
+	}
+	if !calibrated.Calibrated {
+		t.Error("plan with profile not marked calibrated")
+	}
+	if calibrated.PredictedTime == base.PredictedTime {
+		t.Errorf("calibrated prediction %g equals uncalibrated", calibrated.PredictedTime)
+	}
+	if calibrated.UncalibratedTime != base.PredictedTime {
+		t.Errorf("calibrated plan's uncalibrated_time %g, want the plain prediction %g",
+			calibrated.UncalibratedTime, base.PredictedTime)
+	}
+}
+
+func TestCalibrationEndpoint(t *testing.T) {
+	plain := httptest.NewServer(mustNew(t, Config{}).Handler())
+	defer plain.Close()
+	if code, data := getJSON(t, plain.URL+"/v1/calibration", nil); code != http.StatusNotFound {
+		t.Errorf("no profile: status %d: %s", code, data)
+	}
+
+	profile := testProfile(t)
+	cal := httptest.NewServer(mustNew(t, Config{Calibration: profile}).Handler())
+	defer cal.Close()
+	var got calibrate.Profile
+	if code, data := getJSON(t, cal.URL+"/v1/calibration", &got); code != http.StatusOK {
+		t.Fatalf("with profile: status %d: %s", code, data)
+	}
+	if got.TsEff != profile.TsEff || got.TwEff != profile.TwEff || len(got.Algorithms) != len(profile.Algorithms) {
+		t.Errorf("served profile %+v does not match loaded %+v", got, profile)
+	}
+
+	resp, err := http.Post(cal.URL+"/v1/calibration", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/calibration: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestNewRejectsBadProfile(t *testing.T) {
+	p := testProfile(t)
+	p.TsEff = -1
+	if _, err := New(Config{Calibration: p}); err == nil {
+		t.Error("New accepted a poisoned calibration profile")
+	}
+}
+
+func TestMetricsExposeCalibrationAndCacheGauges(t *testing.T) {
+	cal := httptest.NewServer(mustNew(t, Config{Calibration: testProfile(t)}).Handler())
+	defer cal.Close()
+	// Populate the plan cache: one miss, one hit.
+	for i := 0; i < 2; i++ {
+		if code, data := getJSON(t, cal.URL+"/v1/plan?n=64&p=16", nil); code != http.StatusOK {
+			t.Fatalf("plan: status %d: %s", code, data)
+		}
+	}
+	code, body := getJSON(t, cal.URL+"/metrics", nil)
+	if code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	for _, want := range []string{
+		"hmmd_calibration_loaded 1",
+		"hmmd_plan_cache_hits_total 1",
+		"hmmd_plan_cache_misses_total 1",
+		"hmmd_plan_cache_entries 1",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics output lacks %q", want)
+		}
+	}
+}

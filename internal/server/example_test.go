@@ -32,7 +32,7 @@ func ExamplePlanner_Plan() {
 	}); err != nil {
 		panic(err)
 	}
-	hits, misses := pl.CacheStats()
+	hits, misses, _ := pl.CacheStats()
 	fmt.Printf("cache: %d hit, %d miss\n", hits, misses)
 	// Output:
 	// chosen: 3dall (auto=true)

@@ -9,6 +9,7 @@ import (
 	"strconv"
 
 	"hypermm"
+	"hypermm/internal/calibrate"
 )
 
 // Config sizes the serving subsystem.
@@ -18,6 +19,11 @@ type Config struct {
 	CacheSize  int // planner LRU entries (default 1024)
 	MaxN       int // largest accepted matrix size (default 1024)
 	MaxP       int // largest accepted machine size (default 4096)
+
+	// Calibration, when non-nil, is a validated measurement-fitted
+	// profile (internal/calibrate): the planner predicts with it, plans
+	// are marked calibrated, and GET /v1/calibration serves it.
+	Calibration *calibrate.Profile
 }
 
 func (c Config) withDefaults() Config {
@@ -47,16 +53,28 @@ type Server struct {
 	metrics *Metrics
 }
 
-// New builds a ready-to-serve Server.
-func New(cfg Config) *Server {
+// New builds a ready-to-serve Server. A Config.Calibration profile
+// that fails validation or model construction is an error: serving
+// traffic with a half-loaded cost model is worse than refusing to
+// start.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	m := NewMetrics()
+	planner := NewPlanner(cfg.CacheSize)
+	if cfg.Calibration != nil {
+		model, err := cfg.Calibration.Model()
+		if err != nil {
+			return nil, fmt.Errorf("server: calibration profile rejected: %w", err)
+		}
+		planner.WithCalibration(model)
+		m.SetCalibrationLoaded(true)
+	}
 	return &Server{
 		cfg:     cfg,
-		planner: NewPlanner(cfg.CacheSize),
+		planner: planner,
 		sched:   NewScheduler(cfg.Workers, cfg.QueueDepth, m),
 		metrics: m,
-	}
+	}, nil
 }
 
 // Metrics exposes the registry (for tests and the daemon).
@@ -75,6 +93,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/matmul", s.handleMatmul)
 	mux.HandleFunc("/v1/plan", s.handlePlan)
 	mux.HandleFunc("/v1/regionmap", s.handleRegionMap)
+	mux.HandleFunc("/v1/calibration", s.handleCalibration)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
@@ -387,6 +406,21 @@ func (s *Server) handleRegionMap(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, hypermm.RegionMap(ports, ts, tw, lnMin, lnMax, nSteps, lpMin, lpMax, pSteps))
 }
 
+// handleCalibration serves the loaded calibration profile, or 404 when
+// the daemon plans with the raw analytic model.
+func (s *Server) handleCalibration(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	if s.cfg.Calibration == nil {
+		writeErr(w, http.StatusNotFound, errors.New("no calibration profile loaded (start hmmd with -calibration)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.Calibration)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if s.sched.Draining() {
@@ -398,9 +432,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	hits, misses := s.planner.CacheStats()
+	hits, misses, entries := s.planner.CacheStats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprint(w, s.metrics.Render(hits, misses))
+	fmt.Fprint(w, s.metrics.Render(hits, misses, entries))
 }
 
 func parsePortsDefault(s string) (hypermm.PortModel, error) {

@@ -15,6 +15,17 @@ import (
 	"hypermm"
 )
 
+// mustNew builds a Server or fails the test (New only errors on a bad
+// calibration profile).
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
 func postMatmul(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
 	t.Helper()
 	resp, err := http.Post(ts.URL+"/v1/matmul", "application/json", strings.NewReader(body))
@@ -30,7 +41,7 @@ func postMatmul(t *testing.T, ts *httptest.Server, body string) (*http.Response,
 }
 
 func TestMatmulAutoMatchesBestAlgorithmAndReference(t *testing.T) {
-	srv := New(Config{Workers: 2, QueueDepth: 4})
+	srv := mustNew(t, Config{Workers: 2, QueueDepth: 4})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -73,7 +84,7 @@ func TestMatmulAutoMatchesBestAlgorithmAndReference(t *testing.T) {
 }
 
 func TestMatmulExplicitAlgorithmAndTrace(t *testing.T) {
-	srv := New(Config{Workers: 1, QueueDepth: 2})
+	srv := mustNew(t, Config{Workers: 1, QueueDepth: 2})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -94,7 +105,7 @@ func TestMatmulExplicitAlgorithmAndTrace(t *testing.T) {
 }
 
 func TestMatmulValidationAndErrorMapping(t *testing.T) {
-	srv := New(Config{Workers: 1, QueueDepth: 2, MaxN: 64, MaxP: 64})
+	srv := mustNew(t, Config{Workers: 1, QueueDepth: 2, MaxN: 64, MaxP: 64})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -134,7 +145,7 @@ func TestMatmulValidationAndErrorMapping(t *testing.T) {
 func TestMatmulFaultInjectionRecovers(t *testing.T) {
 	// A light drop rate with the default retry budget: the protocol
 	// recovers, the result still matches the reference.
-	srv := New(Config{Workers: 1, QueueDepth: 2})
+	srv := mustNew(t, Config{Workers: 1, QueueDepth: 2})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -156,7 +167,7 @@ func TestMatmulFaultInjectionRecovers(t *testing.T) {
 }
 
 func TestPlanEndpoint(t *testing.T) {
-	srv := New(Config{})
+	srv := mustNew(t, Config{})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -210,7 +221,7 @@ func TestPlanEndpoint(t *testing.T) {
 }
 
 func TestRegionMapEndpoint(t *testing.T) {
-	srv := New(Config{})
+	srv := mustNew(t, Config{})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -241,7 +252,7 @@ func TestRegionMapEndpoint(t *testing.T) {
 }
 
 func TestMetricsEndpointAndAdmissionControl(t *testing.T) {
-	srv := New(Config{Workers: 1, QueueDepth: 1})
+	srv := mustNew(t, Config{Workers: 1, QueueDepth: 1})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -307,7 +318,7 @@ func TestMetricsEndpointAndAdmissionControl(t *testing.T) {
 }
 
 func TestHealthzAndDrain(t *testing.T) {
-	srv := New(Config{Workers: 1, QueueDepth: 2})
+	srv := mustNew(t, Config{Workers: 1, QueueDepth: 2})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -372,7 +383,7 @@ func TestHealthzAndDrain(t *testing.T) {
 }
 
 func TestMatmulInlineOperands(t *testing.T) {
-	srv := New(Config{})
+	srv := mustNew(t, Config{})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

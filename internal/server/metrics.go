@@ -14,14 +14,15 @@ import (
 // standard text exposition format, so any Prometheus scraper can
 // consume /metrics. Safe for concurrent use.
 type Metrics struct {
-	mu         sync.Mutex
-	queueDepth int64
-	inflight   int64
-	jobsByAlg  map[string]int64
-	rejects    int64
-	errsByKind map[string]int64
-	latency    *Histogram // wall-clock seconds per job
-	ratio      *Histogram // simulated elapsed / predicted time
+	mu          sync.Mutex
+	queueDepth  int64
+	inflight    int64
+	calibration int64 // 1 when a calibration profile is loaded
+	jobsByAlg   map[string]int64
+	rejects     int64
+	errsByKind  map[string]int64
+	latency     *Histogram // wall-clock seconds per job
+	ratio       *Histogram // simulated elapsed / predicted time
 }
 
 // NewMetrics returns an empty registry.
@@ -45,6 +46,18 @@ func (m *Metrics) InflightAdd(d int64) { m.mu.Lock(); m.inflight += d; m.mu.Unlo
 
 // QueueDepth reads the queue-depth gauge.
 func (m *Metrics) QueueDepth() int64 { m.mu.Lock(); defer m.mu.Unlock(); return m.queueDepth }
+
+// SetCalibrationLoaded records whether a calibration profile is
+// driving the planner (the hmmd_calibration_loaded gauge).
+func (m *Metrics) SetCalibrationLoaded(loaded bool) {
+	m.mu.Lock()
+	if loaded {
+		m.calibration = 1
+	} else {
+		m.calibration = 0
+	}
+	m.mu.Unlock()
+}
 
 // JobDone records one completed job: its algorithm, wall-clock latency
 // and simulated-vs-predicted time ratio.
@@ -87,15 +100,16 @@ func (m *Metrics) LatencyQuantile(q float64) float64 {
 	return m.latency.Quantile(q)
 }
 
-// Render writes the Prometheus text exposition. cacheHits/cacheMisses
+// Render writes the Prometheus text exposition. The cache counters
 // come from the planner so the registry stays a passive sink.
-func (m *Metrics) Render(cacheHits, cacheMisses int64) string {
+func (m *Metrics) Render(cacheHits, cacheMisses, cacheEntries int64) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var sb strings.Builder
 
 	fmt.Fprintf(&sb, "# HELP hmmd_queue_depth Jobs waiting in the scheduler queue.\n# TYPE hmmd_queue_depth gauge\nhmmd_queue_depth %d\n", m.queueDepth)
 	fmt.Fprintf(&sb, "# HELP hmmd_inflight_jobs Jobs currently executing.\n# TYPE hmmd_inflight_jobs gauge\nhmmd_inflight_jobs %d\n", m.inflight)
+	fmt.Fprintf(&sb, "# HELP hmmd_calibration_loaded Whether a measurement-fitted calibration profile drives the planner.\n# TYPE hmmd_calibration_loaded gauge\nhmmd_calibration_loaded %d\n", m.calibration)
 
 	sb.WriteString("# HELP hmmd_jobs_total Completed jobs by algorithm.\n# TYPE hmmd_jobs_total counter\n")
 	for _, alg := range sortedKeys(m.jobsByAlg) {
@@ -111,6 +125,7 @@ func (m *Metrics) Render(cacheHits, cacheMisses int64) string {
 
 	fmt.Fprintf(&sb, "# HELP hmmd_plan_cache_hits_total Planner LRU cache hits.\n# TYPE hmmd_plan_cache_hits_total counter\nhmmd_plan_cache_hits_total %d\n", cacheHits)
 	fmt.Fprintf(&sb, "# HELP hmmd_plan_cache_misses_total Planner LRU cache misses.\n# TYPE hmmd_plan_cache_misses_total counter\nhmmd_plan_cache_misses_total %d\n", cacheMisses)
+	fmt.Fprintf(&sb, "# HELP hmmd_plan_cache_entries Plans currently resident in the LRU cache.\n# TYPE hmmd_plan_cache_entries gauge\nhmmd_plan_cache_entries %d\n", cacheEntries)
 
 	m.latency.render(&sb, "hmmd_job_latency_seconds", "Job wall-clock latency in seconds.")
 	fmt.Fprintf(&sb, "# HELP hmmd_job_latency_quantile_seconds Approximate latency quantiles from the histogram.\n# TYPE hmmd_job_latency_quantile_seconds gauge\n")

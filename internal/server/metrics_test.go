@@ -18,7 +18,8 @@ func TestMetricsRender(t *testing.T) {
 	m.Reject()
 	m.JobError("link_down")
 
-	out := m.Render(7, 2)
+	m.SetCalibrationLoaded(true)
+	out := m.Render(7, 2, 5)
 	for _, want := range []string{
 		"hmmd_queue_depth 3",
 		"hmmd_inflight_jobs 1",
@@ -28,6 +29,8 @@ func TestMetricsRender(t *testing.T) {
 		`hmmd_job_errors_total{kind="link_down"} 1`,
 		"hmmd_plan_cache_hits_total 7",
 		"hmmd_plan_cache_misses_total 2",
+		"hmmd_plan_cache_entries 5",
+		"hmmd_calibration_loaded 1",
 		"hmmd_job_latency_seconds_count 3",
 		`hmmd_job_latency_quantile_seconds{q="0.5"}`,
 		`hmmd_job_latency_quantile_seconds{q="0.99"}`,

@@ -69,7 +69,13 @@ type Plan struct {
 	Efficiency    float64           `json:"efficiency,omitempty"`
 	SpaceWords    float64           `json:"space_words,omitempty"`
 	Aligned       bool              `json:"aligned"`
-	Candidates    []Candidate       `json:"candidates,omitempty"`
+	// Calibrated reports whether PredictedTime (and the algorithm
+	// choice) came from a measurement-fitted calibration profile; when
+	// true, UncalibratedTime preserves the raw Table-2 prediction for
+	// comparison.
+	Calibrated       bool        `json:"calibrated"`
+	UncalibratedTime float64     `json:"uncalibrated_time,omitempty"`
+	Candidates       []Candidate `json:"candidates,omitempty"`
 }
 
 // MaxAutoP bounds the planner's machine-size search when P = 0.
@@ -84,6 +90,13 @@ type planKey struct {
 
 // Planner evaluates plans and caches them. Safe for concurrent use.
 type Planner struct {
+	// model, when non-nil, is the loaded calibration: predicted times
+	// come from the measurement-fitted model instead of the raw Table 2
+	// expressions, and plans are marked Calibrated. Set before serving
+	// (WithCalibration); immutable afterwards, so cache entries never
+	// mix models.
+	model *hypermm.CalibratedModel
+
 	mu    sync.Mutex
 	cap   int
 	lru   *list.List // front = most recent; values are *planEntry
@@ -106,11 +119,24 @@ func NewPlanner(cacheSize int) *Planner {
 	return &Planner{cap: cacheSize, lru: list.New(), index: map[planKey]*list.Element{}}
 }
 
-// CacheStats returns cumulative hit and miss counts.
-func (pl *Planner) CacheStats() (hits, misses int64) {
+// WithCalibration installs a measurement-fitted cost model: every
+// subsequent plan predicts with it and is marked Calibrated. Call
+// before serving; the planner does not support swapping models under a
+// warm cache.
+func (pl *Planner) WithCalibration(m *hypermm.CalibratedModel) *Planner {
+	pl.model = m
+	return pl
+}
+
+// Calibrated reports whether a calibration model is installed.
+func (pl *Planner) Calibrated() bool { return pl.model != nil }
+
+// CacheStats returns cumulative hit and miss counts plus the current
+// number of cached entries.
+func (pl *Planner) CacheStats() (hits, misses, entries int64) {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
-	return pl.hits, pl.miss
+	return pl.hits, pl.miss, int64(pl.lru.Len())
 }
 
 // Plan answers the request, from cache when possible. The returned Plan
@@ -136,7 +162,7 @@ func (pl *Planner) Plan(req PlanRequest) (*Plan, error) {
 	pl.miss++
 	pl.mu.Unlock()
 
-	plan, err := evaluate(req)
+	plan, err := pl.evaluate(req)
 	if err != nil {
 		return nil, err
 	}
@@ -162,16 +188,19 @@ func clonePlan(p *Plan) *Plan {
 	return &cp
 }
 
-// evaluate computes a plan from the cost model, uncached.
-func evaluate(req PlanRequest) (*Plan, error) {
+// evaluate computes a plan from the cost model — calibrated when the
+// planner has a profile loaded — uncached.
+func (pl *Planner) evaluate(req PlanRequest) (*Plan, error) {
 	if req.P == 0 {
-		return evaluateAutoP(req)
+		return pl.evaluateAutoP(req)
 	}
 	n, p := req.N, req.P
 	var chosen hypermm.Algorithm
 	auto := req.Alg == nil
 	if auto {
-		best, ok := hypermm.BestAlgorithm(n, p, req.Ts, req.Tw, req.Ports)
+		// A nil model's BestAlgorithm is exactly hypermm.BestAlgorithm,
+		// so the calibrated and uncalibrated paths share one call.
+		best, ok := pl.model.BestAlgorithm(n, p, req.Ts, req.Tw, req.Ports)
 		if !ok {
 			return nil, fmt.Errorf("%w: n=%g p=%g", ErrInapplicable, n, p)
 		}
@@ -184,7 +213,7 @@ func evaluate(req PlanRequest) (*Plan, error) {
 	}
 
 	a, b, _ := hypermm.Overhead(chosen, n, p, req.Ports)
-	comm, _ := hypermm.CommTime(chosen, n, p, req.Ts, req.Tw, req.Ports)
+	comm, _ := pl.model.CommTime(chosen, n, p, req.Ts, req.Tw, req.Ports)
 	comp := hypermm.ComputeTime(n, p, req.Tc)
 	plan := &Plan{
 		Algorithm:     chosen,
@@ -199,6 +228,11 @@ func evaluate(req PlanRequest) (*Plan, error) {
 		ComputeTime:   comp,
 		PredictedTime: comm + comp,
 		Aligned:       hypermm.Aligned(chosen),
+		Calibrated:    pl.model != nil,
+	}
+	if pl.model != nil {
+		raw, _ := hypermm.CommTime(chosen, n, p, req.Ts, req.Tw, req.Ports)
+		plan.UncalibratedTime = raw + comp
 	}
 	if e, ok := hypermm.Efficiency(chosen, n, p, req.Ts, req.Tw, req.Tc, req.Ports); ok {
 		plan.Efficiency = e
@@ -210,7 +244,7 @@ func evaluate(req PlanRequest) (*Plan, error) {
 		d := Candidate{Algorithm: c.Name(), Applicable: hypermm.Applicable(c, n, p)}
 		if d.Applicable {
 			d.A, d.B, _ = hypermm.Overhead(c, n, p, req.Ports)
-			d.CommTime, _ = hypermm.CommTime(c, n, p, req.Ts, req.Tw, req.Ports)
+			d.CommTime, _ = pl.model.CommTime(c, n, p, req.Ts, req.Tw, req.Ports)
 			d.TotalTime = d.CommTime + hypermm.ComputeTime(n, p, req.Tc)
 		}
 		plan.Candidates = append(plan.Candidates, d)
@@ -220,12 +254,12 @@ func evaluate(req PlanRequest) (*Plan, error) {
 
 // evaluateAutoP searches machine sizes p = 2, 4, ..., MaxAutoP for the
 // plan with the least predicted total time.
-func evaluateAutoP(req PlanRequest) (*Plan, error) {
+func (pl *Planner) evaluateAutoP(req PlanRequest) (*Plan, error) {
 	var best *Plan
 	for p := 2.0; p <= MaxAutoP; p *= 2 {
 		sub := req
 		sub.P = p
-		plan, err := evaluate(sub)
+		plan, err := pl.evaluate(sub)
 		if err != nil {
 			continue
 		}

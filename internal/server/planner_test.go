@@ -113,7 +113,10 @@ func TestPlanCacheLRU(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	hits, misses := pl.CacheStats()
+	hits, misses, entries := pl.CacheStats()
+	if entries != 1 {
+		t.Errorf("entries=%d, want 1", entries)
+	}
 	if hits != 2 || misses != 1 {
 		t.Errorf("after 3 identical plans: hits=%d misses=%d, want 2/1", hits, misses)
 	}
@@ -127,7 +130,10 @@ func TestPlanCacheLRU(t *testing.T) {
 	if _, err := pl.Plan(req(64)); err != nil {
 		t.Fatal(err)
 	}
-	hits, misses = pl.CacheStats()
+	hits, misses, entries = pl.CacheStats()
+	if entries != 2 {
+		t.Errorf("entries=%d, want 2 (capacity)", entries)
+	}
 	if hits != 2 || misses != 4 {
 		t.Errorf("after eviction: hits=%d misses=%d, want 2/4", hits, misses)
 	}

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func chromeFixture() *Log {
+	l := New()
+	l.Add(Event{Node: 1, Kind: Recv, Start: 3, End: 7, Peer: 0, Words: 16, Tag: 2})
+	l.Add(Event{Node: 0, Kind: Send, Start: 0, End: 4, Peer: 1, Words: 16, Tag: 2})
+	l.Add(Event{Node: 0, Kind: Compute, Start: 4, End: 10, Peer: -1, Words: 64})
+	return l
+}
+
+func TestChromeJSONRoundTrip(t *testing.T) {
+	l := chromeFixture()
+	var buf bytes.Buffer
+	if err := l.ChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseChromeJSON(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := l.Events()
+	if len(got) != 2*len(evs) {
+		t.Fatalf("got %d chrome events for %d log events, want %d", len(got), len(evs), 2*len(evs))
+	}
+	// Events() sorts; ChromeJSON emits a B/E pair per event in that
+	// order, so pair i corresponds to evs[i].
+	for i, e := range evs {
+		b, end := got[2*i], got[2*i+1]
+		if b.Ph != "B" || end.Ph != "E" {
+			t.Fatalf("pair %d: phases %q/%q, want B/E", i, b.Ph, end.Ph)
+		}
+		if b.Tid != e.Node || end.Tid != e.Node {
+			t.Errorf("pair %d: tids %d/%d, want node %d", i, b.Tid, end.Tid, e.Node)
+		}
+		if b.Ts != e.Start || end.Ts != e.End {
+			t.Errorf("pair %d: ts %g..%g, want %g..%g", i, b.Ts, end.Ts, e.Start, e.End)
+		}
+		if b.Ts > end.Ts {
+			t.Errorf("pair %d: begin after end", i)
+		}
+		if b.Cat != e.Kind.String() {
+			t.Errorf("pair %d: cat %q, want %q", i, b.Cat, e.Kind)
+		}
+		if e.Kind != Compute && !strings.Contains(b.Name, "peer=") {
+			t.Errorf("pair %d: comm event name %q lacks peer", i, b.Name)
+		}
+	}
+}
+
+func TestChromeJSONDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := chromeFixture().ChromeJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := chromeFixture().ChromeJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("ChromeJSON output differs across identical logs")
+	}
+}
+
+func TestParseChromeJSONRejectsGarbage(t *testing.T) {
+	if _, err := ParseChromeJSON([]byte("not json")); err == nil {
+		t.Error("ParseChromeJSON accepted garbage")
+	}
+}

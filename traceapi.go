@@ -1,6 +1,8 @@
 package hypermm
 
 import (
+	"io"
+
 	"hypermm/internal/trace"
 )
 
@@ -38,3 +40,9 @@ func (t *Trace) Summary() string { return t.log.Summary() }
 
 // Events returns the number of recorded events.
 func (t *Trace) Events() int { return t.log.Len() }
+
+// ChromeJSON writes the timeline in the Chrome trace-event format
+// (loadable in chrome://tracing or Perfetto): one B/E pair per
+// send/receive/compute span, nodes rendered as threads. Simulated time
+// maps to the format's microsecond unit.
+func (t *Trace) ChromeJSON(w io.Writer) error { return t.log.ChromeJSON(w) }
