@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fuzz chaos bench serve-smoke calibrate-smoke clean
+.PHONY: check build test race vet fuzz chaos bench serve-smoke calibrate-smoke soak soak-smoke clean
 
 check: vet build test race server-race
 
@@ -64,6 +64,27 @@ calibrate-smoke:
 		-assert-maxerr 0.5 -assert-maxdiff 0.5 -o $(CALIBRATE_OUT)
 	@test -s $(CALIBRATE_OUT) || { echo "calibrate-smoke: empty profile"; exit 1; }
 	@rm -f $(CALIBRATE_OUT)
+
+# Conformance smoke: a short deterministic soak run, executed twice with
+# the same seed, whose transcripts must be byte-identical and clean.
+# This is the PR-gate slice of the nightly soak job.
+SOAK_SEED ?= 1
+soak-smoke:
+	$(GO) build -o /tmp/hmm-soak ./cmd/soak
+	/tmp/hmm-soak -seed $(SOAK_SEED) -iters 8 > /tmp/hmm-soak-1.txt
+	/tmp/hmm-soak -seed $(SOAK_SEED) -iters 8 > /tmp/hmm-soak-2.txt
+	cmp /tmp/hmm-soak-1.txt /tmp/hmm-soak-2.txt
+	@rm -f /tmp/hmm-soak /tmp/hmm-soak-1.txt /tmp/hmm-soak-2.txt
+
+# Full soak: run the conformance engine under a wall-clock budget,
+# writing any minimized repros (and Chrome traces of the failing
+# schedules) into SOAK_DIR for upload as CI artifacts. Nightly CI calls
+# this with a date-derived seed so each night explores new cases while
+# staying replayable.
+SOAK_BUDGET ?= 10m
+SOAK_DIR ?= soak-artifacts
+soak:
+	$(GO) run ./cmd/soak -seed $(SOAK_SEED) -budget $(SOAK_BUDGET) -repros $(SOAK_DIR)
 
 # Performance snapshot: the hot-path benchmark families (local GEMM
 # kernel, emulator throughput, region-map sweeps, packed-kernel micro

@@ -1,0 +1,159 @@
+// Command soak drives the property-based conformance engine
+// (internal/conformance) as a standing soak test: it generates seeded
+// random scenarios — matrix shapes and contents, machine
+// configurations, fault plans — checks every applicable metamorphic
+// oracle on each, shrinks any failure to a minimal counterexample, and
+// persists it as a replayable JSON repro (plus a Chrome trace of the
+// offending schedule) for the repro corpus.
+//
+// Determinism contract: for a fixed -seed and -iters the entire run —
+// cases, verdicts, transcript — is byte-identical across invocations;
+// CI diffs two runs to enforce it. With -budget the engine instead runs
+// chunk after chunk until the wall-clock budget is spent; each chunk is
+// still a pure function of (seed, iteration index), only the number of
+// chunks varies with machine speed.
+//
+// Exit codes: 0 every case passed, 1 failures were found (repros
+// written), 2 usage or I/O error.
+//
+// Usage:
+//
+//	soak -seed 1 -iters 32
+//	soak -seed $(date +%Y%m%d) -budget 15m -repros soak-artifacts
+//	soak -replay internal/conformance/testdata/repros/<file>.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hypermm/internal/conformance"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		seed    = flag.Int64("seed", 1, "master seed; same seed and -iters, same transcript and verdict")
+		iters   = flag.Int("iters", 32, "generated cases (ignored when -budget is set)")
+		budget  = flag.Duration("budget", 0, "wall-clock budget; run chunks of cases until it is spent")
+		repros  = flag.String("repros", "internal/conformance/testdata/repros", "directory for minimized failure repros")
+		oracles = flag.String("oracles", "", "comma-separated oracle subset (default: all); see -list")
+		list    = flag.Bool("list", false, "print the oracle catalogue and exit")
+		replay  = flag.String("replay", "", "replay one repro JSON file and exit")
+		trace   = flag.Bool("trace", true, "write a Chrome trace next to each failing repro")
+		maxFail = flag.Int("max-failures", 4, "stop after this many failing iterations")
+		quiet   = flag.Bool("q", false, "suppress the per-iteration transcript")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, o := range conformance.Oracles() {
+			fmt.Printf("%-12s %s\n", o.Name, o.Doc)
+		}
+		return 0
+	}
+	if *replay != "" {
+		r, err := conformance.Load(*replay)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+			return 2
+		}
+		fmt.Printf("replaying %s: oracle=%s case %v\n", *replay, r.Oracle, r.Case)
+		if err := r.Replay(); err != nil {
+			fmt.Printf("soak: repro still FAILS: %v\n", err)
+			return 1
+		}
+		fmt.Println("soak: repro passes")
+		return 0
+	}
+
+	opt := conformance.Options{
+		Seed:        *seed,
+		ReproDir:    *repros,
+		MaxFailures: *maxFail,
+	}
+	if !*quiet {
+		opt.Logf = func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+	}
+	if *oracles != "" {
+		for _, name := range strings.Split(*oracles, ",") {
+			o, ok := conformance.OracleByName(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "soak: unknown oracle %q (try -list)\n", name)
+				return 2
+			}
+			opt.Oracles = append(opt.Oracles, o)
+		}
+	}
+	if *trace {
+		opt.OnFailure = func(f *conformance.Failure) {
+			if f.ReproPath == "" {
+				return
+			}
+			path := strings.TrimSuffix(f.ReproPath, ".json") + ".trace.json"
+			w, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "soak: trace: %v\n", err)
+				return
+			}
+			defer w.Close()
+			if err := conformance.WriteTrace(f.Case, w); err != nil {
+				fmt.Fprintf(os.Stderr, "soak: trace: %v\n", err)
+				return
+			}
+			fmt.Printf("iter %d: trace %s\n", f.Iter, path)
+		}
+	}
+
+	var total conformance.Summary
+	if *budget > 0 {
+		// Time-bounded: fixed-size chunks, absolute iteration numbering,
+		// until the budget is spent or the failure cap is hit.
+		const chunk = 8
+		start := time.Now()
+		next := 0
+		for time.Since(start) < *budget && len(total.Failures) < *maxFail {
+			opt.StartIter = next
+			opt.Iters = chunk
+			opt.MaxFailures = *maxFail - len(total.Failures)
+			sum, err := conformance.Run(opt)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+				return 2
+			}
+			accumulate(&total, sum)
+			next += chunk
+		}
+	} else {
+		opt.Iters = *iters
+		sum, err := conformance.Run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+			return 2
+		}
+		total = sum
+	}
+
+	if len(total.Failures) > 0 {
+		fmt.Printf("soak: FAIL (%d failures over %d iters, %d checks; repros in %s)\n",
+			len(total.Failures), total.Iters, total.Checks, *repros)
+		return 1
+	}
+	fmt.Printf("soak: PASS (%d iters, %d checks, %d skipped, %d retries recovered)\n",
+		total.Iters, total.Checks, total.Skipped, total.Retries)
+	return 0
+}
+
+func accumulate(total *conformance.Summary, s conformance.Summary) {
+	total.Iters += s.Iters
+	total.Checks += s.Checks
+	total.Skipped += s.Skipped
+	total.Retries += s.Retries
+	total.Failures = append(total.Failures, s.Failures...)
+}

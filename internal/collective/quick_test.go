@@ -20,12 +20,22 @@ type shape struct {
 	pm         simnet.PortModel
 }
 
+// Payload pools are deliberately dominated by odd and non-power-of-two
+// sizes: rows*cols is then rarely divisible by the slice count, so the
+// multi-port slicing (sliceBounds) exercises its remainder handling and
+// empty-slice paths, and message lengths never line up with the pooled
+// buffer classes the transport recycles.
+var (
+	quickRows = []int{1, 2, 3, 5, 7, 9, 13, 17}
+	quickCols = []int{1, 3, 4, 5, 7, 11, 19, 23}
+)
+
 func shapeFrom(qb, rb, cb, rootb, pmb uint8) shape {
 	q := 1 << (int(qb) % 5) // 1..16
-	rows := 1 + int(rb)%5
-	cols := 1 + int(cb)%7
 	return shape{
-		q: q, rows: rows, cols: cols,
+		q:    q,
+		rows: quickRows[int(rb)%len(quickRows)],
+		cols: quickCols[int(cb)%len(quickCols)],
 		root: int(rootb) % q,
 		pm:   simnet.PortModel(int(pmb) % 2),
 	}
@@ -257,6 +267,64 @@ func TestQuickTimingDeterminism(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPooledBuffersNoAlias: results handed back by a collective
+// must be fully owned by the caller. The transport pools message
+// buffers (SendOwned hands slices to the network; Release recycles
+// them), so if a collective ever returned matrices aliasing a pooled
+// buffer, the next collective on the same machine would scribble over
+// them. Run several pool-churning collectives after the one under test
+// and require the retained results to still match a snapshot.
+func TestQuickPooledBuffersNoAlias(t *testing.T) {
+	f := func(qb, rb, cb, rootb, pmb uint8) bool {
+		s := shapeFrom(qb, rb, cb, rootb, pmb)
+		if s.q == 1 {
+			return true // no traffic, nothing pooled
+		}
+		fail := runOnChain(s, func(c Comm, fail func(string)) {
+			got := c.AllGather(1, refBlock(s.rows, s.cols, c.Pos(), 11))
+			snap := make([][]float64, len(got))
+			for j := range got {
+				snap[j] = append([]float64(nil), got[j].Data...)
+			}
+
+			// Churn the buffer pool with fresh traffic of the same and
+			// of different shapes.
+			blocks := make([]*matrix.Dense, s.q)
+			for j := range blocks {
+				blocks[j] = refBlock(s.rows, s.cols, 100*c.Pos()+j, 12)
+			}
+			c.AllToAll(2, blocks)
+			c.Reduce(3, s.root, refBlock(s.rows, s.cols, c.Pos(), 13))
+			var root *matrix.Dense
+			if c.Pos() == s.root {
+				root = refBlock(s.rows+1, s.cols, s.root, 14)
+			}
+			c.Bcast(4, s.root, s.rows+1, s.cols, root)
+
+			for j := range got {
+				want := refBlock(s.rows, s.cols, j, 11)
+				if !matrix.Equal(got[j], want) {
+					fail("retained result corrupted by later traffic")
+					return
+				}
+				for i, v := range got[j].Data {
+					if v != snap[j][i] {
+						fail("retained result diverged from snapshot")
+						return
+					}
+				}
+			}
+		})
+		if fail != "" {
+			t.Logf("shape %+v: %s", s, fail)
+		}
+		return fail == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Error(err)
 	}
 }

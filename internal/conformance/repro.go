@@ -1,0 +1,121 @@
+package conformance
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ReproVersion is the current repro file format version. Load rejects
+// versions it does not understand rather than misreplaying them.
+const ReproVersion = 1
+
+// Repro is a persisted, minimized counterexample: the oracle that
+// failed, the shrunken case, and the failure message at the time it was
+// captured. Files under testdata/repros/ replay in CI (go test
+// ./internal/conformance -run TestReplayCheckedInRepros) and must pass:
+// a checked-in repro documents a fixed bug and pins the fix.
+type Repro struct {
+	Version int    `json:"version"`
+	Oracle  string `json:"oracle"`
+	Error   string `json:"error,omitempty"`
+	Case    Case   `json:"case"`
+}
+
+// Replay re-runs the repro's oracle on its case and returns the check's
+// verdict (nil means the property now holds).
+func (r *Repro) Replay() error {
+	o, ok := OracleByName(r.Oracle)
+	if !ok {
+		return fmt.Errorf("conformance: repro names unknown oracle %q", r.Oracle)
+	}
+	if o.Applies != nil && !o.Applies(r.Case) {
+		return fmt.Errorf("conformance: oracle %q does not apply to case %v", r.Oracle, r.Case)
+	}
+	return o.Check(r.Case)
+}
+
+// Filename is the deterministic name the repro persists under:
+// <oracle>-<fnv64a of the canonical JSON>.json. Same minimized repro,
+// same file — re-finding a known counterexample never litters the
+// corpus with duplicates.
+func (r *Repro) Filename() string {
+	blob, _ := json.Marshal(r.Case)
+	h := fnv.New64a()
+	h.Write([]byte(r.Oracle))
+	h.Write(blob)
+	return fmt.Sprintf("%s-%016x.json", r.Oracle, h.Sum64())
+}
+
+// Save writes the repro under dir (created if missing) and returns the
+// file path.
+func Save(dir string, r *Repro) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, r.Filename())
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Load reads and validates one repro file.
+func Load(path string) (*Repro, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Repro
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return nil, fmt.Errorf("conformance: %s: %w", path, err)
+	}
+	if r.Version != ReproVersion {
+		return nil, fmt.Errorf("conformance: %s: unsupported repro version %d", path, r.Version)
+	}
+	if _, ok := OracleByName(r.Oracle); !ok {
+		return nil, fmt.Errorf("conformance: %s: unknown oracle %q", path, r.Oracle)
+	}
+	if r.Case.N < 1 || r.Case.P < 1 || r.Case.P&(r.Case.P-1) != 0 {
+		return nil, fmt.Errorf("conformance: %s: invalid case n=%d p=%d", path, r.Case.N, r.Case.P)
+	}
+	return &r, nil
+}
+
+// LoadDir loads every *.json repro under dir, sorted by filename. A
+// missing directory is an empty corpus, not an error.
+func LoadDir(dir string) ([]*Repro, []string, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil, nil
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".json" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var out []*Repro
+	var paths []string
+	for _, name := range names {
+		p := filepath.Join(dir, name)
+		r, err := Load(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, r)
+		paths = append(paths, p)
+	}
+	return out, paths, nil
+}

@@ -1,0 +1,112 @@
+package conformance
+
+import "hypermm"
+
+// Shrink minimizes a failing case greedily: it proposes simplifying
+// transformations in a fixed order — halve n, halve p, drop the fault
+// plan or its individual ingredients, simplify operand entries toward
+// 0/1, canonicalize cost parameters and the scaling constant — and
+// accepts any candidate on which the oracle still fails, restarting
+// from the accepted case until no candidate fails or the check budget
+// is exhausted. Deterministic: same oracle and case, same minimum.
+//
+// Returns the minimized case, the number of accepted shrink steps and
+// the number of oracle evaluations spent.
+func Shrink(o Oracle, c Case, maxChecks int) (min Case, steps, checks int) {
+	cur := c
+	for {
+		accepted := false
+		for _, cand := range shrinkCandidates(cur) {
+			if o.Applies != nil && !o.Applies(cand) {
+				continue
+			}
+			if checks >= maxChecks {
+				return cur, steps, checks
+			}
+			checks++
+			if o.Check(cand) != nil {
+				cur = cand
+				steps++
+				accepted = true
+				break
+			}
+		}
+		if !accepted {
+			return cur, steps, checks
+		}
+	}
+}
+
+// shrinkCandidates proposes the one-step simplifications of c, most
+// aggressive first. Every candidate is strictly "smaller" under a
+// well-founded order (n, p, plan ingredients, content complexity,
+// parameter canonicality), so the greedy loop terminates.
+func shrinkCandidates(c Case) []Case {
+	var out []Case
+	add := func(f func(*Case)) {
+		cand := c
+		if cand.Plan != nil {
+			cp := *c.Plan
+			cp.Down = append([]hypermm.Window(nil), c.Plan.Down...)
+			cand.Plan = &cp
+		}
+		f(&cand)
+		out = append(out, cand)
+	}
+
+	if half := c.N / 2; half >= 1 && half != c.N {
+		add(func(d *Case) { d.N = half })
+	}
+	if half := c.P / 2; half >= 1 && half != c.P {
+		add(func(d *Case) { d.P = half })
+	}
+
+	if c.Plan != nil {
+		add(func(d *Case) { d.Plan, d.PlanKind = nil, PlanClean })
+		if c.Plan.Drop != 0 {
+			add(func(d *Case) { d.Plan.Drop = 0 })
+		}
+		if c.Plan.Dup != 0 {
+			add(func(d *Case) { d.Plan.Dup = 0 })
+		}
+		if c.Plan.DelayProb != 0 || c.Plan.DelayTime != 0 {
+			add(func(d *Case) { d.Plan.DelayProb, d.Plan.DelayTime = 0, 0 })
+		}
+		if len(c.Plan.Down) > 0 {
+			add(func(d *Case) { d.Plan.Down = nil })
+			for i := range c.Plan.Down {
+				i := i
+				if len(c.Plan.Down) > 1 {
+					add(func(d *Case) { d.Plan.Down = append(d.Plan.Down[:i], d.Plan.Down[i+1:]...) })
+				}
+			}
+		}
+	}
+
+	switch c.Content {
+	case ContentRandom:
+		add(func(d *Case) { d.Content = ContentSmallInt })
+	case ContentSmallInt:
+		add(func(d *Case) { d.Content = ContentZeroOne })
+	}
+	if c.ContentSeed != 1 {
+		add(func(d *Case) { d.ContentSeed = 1 })
+	}
+
+	if c.Tc != 0 {
+		add(func(d *Case) { d.Tc = 0 })
+	}
+	if c.Ts != 1 {
+		add(func(d *Case) { d.Ts = 1 })
+	}
+	if c.Tw != 1 {
+		add(func(d *Case) { d.Tw = 1 })
+	}
+	if c.Ports != hypermm.OnePort {
+		add(func(d *Case) { d.Ports = hypermm.OnePort })
+	}
+	if c.Scale != 2 {
+		add(func(d *Case) { d.Scale = 2 })
+	}
+	return out
+}

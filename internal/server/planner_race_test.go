@@ -1,0 +1,116 @@
+package server
+
+import (
+	"sync"
+	"testing"
+
+	"hypermm"
+)
+
+// Concurrency contract of the plan cache, meant to run under -race (the
+// server-race make target covers this package): hammer calibrated and
+// uncalibrated planners with overlapping keys from many goroutines and
+// require (1) hit+miss accounting that reconciles exactly with the call
+// count, (2) the LRU bound respected, (3) no cross-profile leakage —
+// every plan from the calibrated planner is marked Calibrated with a
+// raw Table-2 comparison time, every plan from the uncalibrated one is
+// not — and (4) clone isolation: mutating a returned plan never
+// corrupts what the cache hands out next.
+func TestPlannerConcurrentMixedProfiles(t *testing.T) {
+	model, err := hypermm.NewCalibratedModel(1.25, 0.8, map[hypermm.Algorithm]float64{
+		hypermm.ThreeAll: 1.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cacheCap = 8
+	calibrated := NewPlanner(cacheCap).WithCalibration(model)
+	uncalibrated := NewPlanner(cacheCap)
+
+	// More distinct keys than cache capacity, so the run exercises
+	// eviction and re-miss, not just warm hits.
+	var reqs []PlanRequest
+	for _, n := range []float64{64, 128, 256, 512, 1024} {
+		for _, p := range []float64{16, 64, 256} {
+			reqs = append(reqs, PlanRequest{N: n, P: p, Ts: 150, Tw: 3, Tc: 0.5})
+		}
+	}
+
+	const (
+		workers = 8
+		rounds  = 40
+	)
+	var wg sync.WaitGroup
+	errs := make(chan string, workers*2)
+	hammer := func(pl *Planner, wantCalibrated bool) {
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			for _, req := range reqs {
+				plan, err := pl.Plan(req)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				if plan.Calibrated != wantCalibrated {
+					errs <- "plan crossed calibration profiles"
+					return
+				}
+				if wantCalibrated && plan.UncalibratedTime <= 0 {
+					errs <- "calibrated plan lost its raw Table-2 time"
+					return
+				}
+				if !wantCalibrated && plan.UncalibratedTime != 0 {
+					errs <- "uncalibrated plan carries a calibration comparison"
+					return
+				}
+				// Clone isolation: scribble over the returned plan; the
+				// cache must keep serving pristine copies.
+				plan.PredictedTime = -1
+				plan.AlgorithmName = "corrupted"
+				if len(plan.Candidates) > 0 {
+					plan.Candidates[0].Algorithm = "corrupted"
+				}
+			}
+		}
+	}
+	for w := 0; w < workers/2; w++ {
+		wg.Add(2)
+		go hammer(calibrated, true)
+		go hammer(uncalibrated, false)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+
+	calls := int64(workers / 2 * rounds * len(reqs))
+	for name, pl := range map[string]*Planner{"calibrated": calibrated, "uncalibrated": uncalibrated} {
+		hits, misses, entries := pl.CacheStats()
+		if hits+misses != calls {
+			t.Errorf("%s: hits %d + misses %d != %d calls", name, hits, misses, calls)
+		}
+		if misses < int64(len(reqs)) {
+			t.Errorf("%s: %d misses for %d distinct keys", name, misses, len(reqs))
+		}
+		if entries > cacheCap {
+			t.Errorf("%s: %d entries exceed cache cap %d", name, entries, cacheCap)
+		}
+	}
+
+	// After the scribbling above, a warm hit must still be pristine.
+	for name, pl := range map[string]*Planner{"calibrated": calibrated, "uncalibrated": uncalibrated} {
+		plan, err := pl.Plan(reqs[len(reqs)-1])
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if plan.PredictedTime <= 0 || plan.AlgorithmName == "corrupted" {
+			t.Errorf("%s: cache served a caller-mutated plan: %+v", name, plan)
+		}
+		for _, c := range plan.Candidates {
+			if c.Algorithm == "corrupted" {
+				t.Errorf("%s: cached candidate list aliases a caller's copy", name)
+			}
+		}
+	}
+}

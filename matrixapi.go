@@ -50,6 +50,11 @@ func fromInternal(d *matrix.Dense) *Matrix {
 	return &Matrix{Rows: d.Rows, Cols: d.Cols, Data: d.Data}
 }
 
+// Transpose returns a new matrix holding m transposed.
+func (m *Matrix) Transpose() *Matrix {
+	return fromInternal(m.internal().Transpose())
+}
+
 // MatMul returns the serial (single-machine) product a*b — the
 // reference the distributed results are verified against.
 func MatMul(a, b *Matrix) *Matrix {
