@@ -90,8 +90,10 @@ soak:
 # kernel, emulator throughput, region-map sweeps, packed-kernel micro
 # benches) into BENCH_kernel.json, plus the collective scaling
 # trajectory (broadcast / all-gather / reduce-scatter at p=8 and p=64)
-# into BENCH_collectives.json. BENCHTIME=1x gives a cheap CI smoke; the
-# default gives stable numbers.
+# into BENCH_collectives.json, plus the steady-state serving trajectory
+# (warm machine pool vs cold per-request machines at p=64, HTTP and
+# scheduler-direct, with req/s metrics) into BENCH_serving.json.
+# BENCHTIME=1x gives a cheap CI smoke; the default gives stable numbers.
 BENCHTIME ?= 0.5s
 bench:
 	( $(GO) test -run XXX -bench '^BenchmarkLocalMatMul$$|^BenchmarkEmulatorThroughput$$|^BenchmarkFig13|^BenchmarkFig14' \
@@ -101,6 +103,8 @@ bench:
 	| $(GO) run ./cmd/bench2json -o BENCH_kernel.json
 	$(GO) test -run XXX -bench '^BenchmarkCollective_' -benchtime $(BENCHTIME) . \
 	| $(GO) run ./cmd/bench2json -o BENCH_collectives.json
+	$(GO) test -run XXX -bench '^BenchmarkServe_' -benchtime $(BENCHTIME) ./internal/server \
+	| $(GO) run ./cmd/bench2json -o BENCH_serving.json
 
 clean:
 	$(GO) clean ./...

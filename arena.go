@@ -1,0 +1,120 @@
+package hypermm
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Arena is a request-scoped matrix allocator: every Matrix it hands out
+// is backed by a slab drawn from a process-wide size-class pool, and
+// Release returns all of them at once. A serving loop that decodes
+// operands, runs the block distribution and assembles a product on
+// every request allocates the same few large slabs over and over —
+// arenas recycle them instead of churning the garbage collector.
+//
+// Contents are deterministic regardless of reuse: a zeroed matrix is
+// explicitly zeroed, a random matrix is fully overwritten by its seeded
+// fill, so a recycled slab is indistinguishable from a fresh one.
+//
+// An Arena is not safe for concurrent use; give each request its own.
+// After Release the arena's matrices must no longer be used.
+type Arena struct {
+	slabs [][]float64
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// slabClass bounds pooled slabs at 2^26 words (512 MiB); larger
+// requests fall through to plain allocation.
+const maxSlabClass = 26
+
+var slabPools [maxSlabClass + 1]sync.Pool
+
+// getSlab returns a length-n slab from the size-class pool (capacity
+// rounded up to the next power of two). Contents are arbitrary; callers
+// must fully overwrite.
+func getSlab(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	c := 0
+	for 1<<c < n {
+		c++
+	}
+	if c > maxSlabClass {
+		return make([]float64, n)
+	}
+	if s, _ := slabPools[c].Get().(*[]float64); s != nil {
+		return (*s)[:n]
+	}
+	return make([]float64, n, 1<<c)
+}
+
+// putSlab recycles a slab into the largest class its capacity fully
+// covers (floor class). getSlab draws from the ceiling class of the
+// requested length, so every slab parked in class c is guaranteed to
+// fit any request that class serves — which lets adopted slabs of
+// arbitrary capacity (e.g. a product matrix assembled by an algorithm)
+// re-enter the pool, not just slabs the pool itself minted.
+func putSlab(s []float64) {
+	n := cap(s)
+	if n == 0 {
+		return
+	}
+	c := 0
+	for 1<<(c+1) <= n {
+		c++
+	}
+	if c > maxSlabClass {
+		c = maxSlabClass
+	}
+	s = s[:cap(s)]
+	slabPools[c].Put(&s)
+}
+
+// Matrix returns a zeroed r x c matrix backed by a pooled slab owned by
+// the arena.
+func (a *Arena) Matrix(r, c int) *Matrix {
+	d := getSlab(r * c)
+	for i := range d {
+		d[i] = 0
+	}
+	a.slabs = append(a.slabs, d)
+	return &Matrix{Rows: r, Cols: c, Data: d}
+}
+
+// RandomMatrix is RandomMatrix on a pooled slab: entries uniform in
+// [-1, 1), element-for-element identical to the package-level
+// RandomMatrix for the same seed.
+func (a *Arena) RandomMatrix(r, c int, seed int64) *Matrix {
+	d := getSlab(r * c)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range d {
+		d[i] = 2*rng.Float64() - 1
+	}
+	a.slabs = append(a.slabs, d)
+	return &Matrix{Rows: r, Cols: c, Data: d}
+}
+
+// Adopt takes ownership of m's backing slab: Release will recycle it
+// alongside the arena's own allocations. Use it on a product matrix
+// after the response is encoded, so the assembly buffer feeds the next
+// request's operands. Adopting nil is a no-op.
+func (a *Arena) Adopt(m *Matrix) {
+	if m == nil || m.Data == nil {
+		return
+	}
+	a.slabs = append(a.slabs, m.Data)
+}
+
+// Release returns every slab the arena owns to the pool. The arena is
+// reusable (empty) afterwards; matrices previously handed out must no
+// longer be touched.
+func (a *Arena) Release() {
+	for i, s := range a.slabs {
+		putSlab(s)
+		a.slabs[i] = nil
+	}
+	a.slabs = a.slabs[:0]
+}

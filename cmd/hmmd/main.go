@@ -56,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		addr    = fs.String("addr", ":8080", "listen address")
 		workers = fs.Int("workers", 4, "scheduler worker pool size")
 		queue   = fs.Int("queue", 0, "scheduler queue depth (0: 2x workers)")
+		pool    = fs.Int("pool", 0, "warm machine pool capacity (0: 2x workers, negative: disable pooling)")
 		cache   = fs.Int("cache", 1024, "planner LRU cache entries")
 		maxN    = fs.Int("maxn", 1024, "largest accepted matrix size")
 		maxP    = fs.Int("maxp", 4096, "largest accepted machine size")
@@ -79,7 +80,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	}
 
 	srv, err := server.New(server.Config{
-		Workers: *workers, QueueDepth: *queue, CacheSize: *cache,
+		Workers: *workers, QueueDepth: *queue, PoolSize: *pool, CacheSize: *cache,
 		MaxN: *maxN, MaxP: *maxP, Calibration: profile,
 	})
 	if err != nil {

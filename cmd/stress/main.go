@@ -103,6 +103,7 @@ func loadGenerate(base string, requests, conc, n, p int, alg string, verify, smo
 		latencies []time.Duration
 		statuses  = map[int]int{}
 	)
+	start := time.Now()
 	work := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < conc; w++ {
@@ -131,6 +132,7 @@ func loadGenerate(base string, requests, conc, n, p int, alg string, verify, smo
 	}
 	close(work)
 	wg.Wait()
+	elapsed := time.Since(start)
 
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	quant := func(q float64) time.Duration {
@@ -150,6 +152,8 @@ func loadGenerate(base string, requests, conc, n, p int, alg string, verify, smo
 		fmt.Printf("  status %3d  x%d\n", c, statuses[c])
 	}
 	fmt.Printf("  latency p50 %v  p99 %v\n", quant(0.5), quant(0.99))
+	fmt.Printf("  steady-state %.1f req/s (%d requests in %v)\n",
+		float64(requests)/elapsed.Seconds(), requests, elapsed.Round(time.Millisecond))
 
 	ok := statuses[200] == requests
 	if smoke {

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hypermm"
+)
+
+// BenchmarkServe_* measures steady-state serving throughput over the
+// full HTTP path (JSON decode, plan, arena operands, simulated run,
+// JSON encode) at the paper's p=64 machine size with a small operand,
+// so per-request emulator setup — not arithmetic — dominates. The warm
+// variant reuses pooled persistent machines; the cold variant builds a
+// 64-goroutine machine per request (PoolSize < 0 disables pooling).
+// make bench persists both as BENCH_serving.json; the warm req/s must
+// stay well ahead of cold.
+func benchServe(b *testing.B, poolSize int) {
+	srv, err := New(Config{Workers: 1, QueueDepth: 4, PoolSize: poolSize})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			b.Error(err)
+		}
+	}()
+
+	client := ts.Client()
+	post := func() {
+		resp, err := client.Post(ts.URL+"/v1/matmul", "application/json",
+			strings.NewReader(`{"n": 16, "p": 64}`))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	post() // prime the plan cache and (when enabled) the machine pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+func BenchmarkServe_WarmPool_P64(b *testing.B)     { benchServe(b, 2) }
+func BenchmarkServe_ColdMachines_P64(b *testing.B) { benchServe(b, -1) }
+
+// benchSched measures the same steady state below the HTTP layer:
+// planner + scheduler + simulated run, so the pool's setup amortization
+// is not diluted by TCP round-trips.
+func benchSched(b *testing.B, poolSize int) {
+	m := NewMetrics()
+	var pool *hypermm.MachinePool
+	if poolSize > 0 {
+		pool = hypermm.NewMachinePool(poolSize)
+		defer pool.Close()
+	}
+	s := NewScheduler(1, 4, pool, m)
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			b.Error(err)
+		}
+	}()
+
+	pl := NewPlanner(8)
+	plan, err := pl.Plan(PlanRequest{N: 16, P: 64, Ts: 150, Tw: 3, Tc: 0.5, Ports: hypermm.OnePort})
+	if err != nil {
+		b.Fatal(err)
+	}
+	job := Job{
+		Plan: plan,
+		Cfg:  hypermm.Config{P: 64, Ports: hypermm.OnePort, Ts: 150, Tw: 3, Tc: 0.5},
+		A:    hypermm.RandomMatrix(16, 16, 1),
+		B:    hypermm.RandomMatrix(16, 16, 2),
+	}
+	if _, err := s.Submit(context.Background(), job); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Submit(context.Background(), job); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+func BenchmarkServe_SchedWarmPool_P64(b *testing.B)     { benchSched(b, 2) }
+func BenchmarkServe_SchedColdMachines_P64(b *testing.B) { benchSched(b, 0) }

@@ -20,6 +20,12 @@ type Config struct {
 	MaxN       int // largest accepted matrix size (default 1024)
 	MaxP       int // largest accepted machine size (default 4096)
 
+	// PoolSize bounds the warm machine pool: at most this many idle
+	// simulated machines are kept for reuse across requests (default
+	// 2 * Workers; negative disables pooling and every job builds a
+	// cold machine).
+	PoolSize int
+
 	// Calibration, when non-nil, is a validated measurement-fitted
 	// profile (internal/calibrate): the planner predicts with it, plans
 	// are marked calibrated, and GET /v1/calibration serves it.
@@ -42,15 +48,20 @@ func (c Config) withDefaults() Config {
 	if c.MaxP < 1 {
 		c.MaxP = 4096
 	}
+	if c.PoolSize == 0 {
+		c.PoolSize = 2 * c.Workers
+	}
 	return c
 }
 
-// Server wires the planner, scheduler and metrics behind an HTTP API.
+// Server wires the planner, scheduler, machine pool and metrics behind
+// an HTTP API.
 type Server struct {
 	cfg     Config
 	planner *Planner
 	sched   *Scheduler
 	metrics *Metrics
+	pool    *hypermm.MachinePool // nil when pooling is disabled
 }
 
 // New builds a ready-to-serve Server. A Config.Calibration profile
@@ -69,11 +80,16 @@ func New(cfg Config) (*Server, error) {
 		planner.WithCalibration(model)
 		m.SetCalibrationLoaded(true)
 	}
+	var pool *hypermm.MachinePool
+	if cfg.PoolSize > 0 {
+		pool = hypermm.NewMachinePool(cfg.PoolSize)
+	}
 	return &Server{
 		cfg:     cfg,
 		planner: planner,
-		sched:   NewScheduler(cfg.Workers, cfg.QueueDepth, m),
+		sched:   NewScheduler(cfg.Workers, cfg.QueueDepth, pool, m),
 		metrics: m,
+		pool:    pool,
 	}, nil
 }
 
@@ -84,8 +100,25 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 func (s *Server) Planner() *Planner { return s.planner }
 
 // Drain stops job intake and waits (bounded by ctx) for admitted jobs
-// to finish; /healthz reports draining and new jobs get 503.
-func (s *Server) Drain(ctx context.Context) error { return s.sched.Drain(ctx) }
+// to finish; /healthz reports draining and new jobs get 503. The warm
+// machine pool is closed afterwards (machines still checked out by
+// straggling jobs are closed as they come back).
+func (s *Server) Drain(ctx context.Context) error {
+	err := s.sched.Drain(ctx)
+	if s.pool != nil {
+		s.pool.Close()
+	}
+	return err
+}
+
+// PoolStats reports the warm machine pool's counters (zero when pooling
+// is disabled).
+func (s *Server) PoolStats() hypermm.PoolStats {
+	if s.pool == nil {
+		return hypermm.PoolStats{}
+	}
+	return s.pool.Stats()
+}
 
 // Handler returns the route mux.
 func (s *Server) Handler() http.Handler {
@@ -259,14 +292,22 @@ func (s *Server) handleMatmul(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	A, B, err := operands(&req)
+	// Request-scoped arena: seeded operands are built on pooled slabs
+	// and returned when the request is done, so steady-state serving
+	// reuses the same few big buffers instead of churning the GC. The
+	// arena is only released once the job provably finished — a client
+	// that gives up leaves its job running on these very slabs.
+	arena := hypermm.NewArena()
+	releaseArena := true
+	defer func() {
+		if releaseArena {
+			arena.Release()
+		}
+	}()
+	A, B, err := operands(&req, arena)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
-	}
-	seed := req.Seed
-	if seed == 0 {
-		seed = 1
 	}
 
 	job := Job{
@@ -279,8 +320,18 @@ func (s *Server) handleMatmul(w http.ResponseWriter, r *http.Request) {
 	}
 	jr, err := s.sched.Submit(r.Context(), job)
 	if err != nil {
+		if jr == nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			// The client gave up but the admitted job still runs to
+			// completion on the arena's operands: leave the slabs to
+			// the garbage collector rather than recycle them under it.
+			releaseArena = false
+		}
 		writeErr(w, errStatus(err), err)
 		return
+	}
+	if jr.Res != nil {
+		// The product's backing slab feeds the next request's operands.
+		defer arena.Adopt(jr.Res.C)
 	}
 
 	resp := MatmulResponse{
@@ -308,15 +359,18 @@ func (s *Server) handleMatmul(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// operands builds A and B from inline data or the request seed.
-func operands(req *MatmulRequest) (A, B *hypermm.Matrix, err error) {
+// operands builds A and B from inline data or the request seed. Seeded
+// operands are allocated on the request's arena (contents are identical
+// to hypermm.RandomMatrix); inline operands alias the decoded JSON
+// slices and stay off the arena.
+func operands(req *MatmulRequest, arena *hypermm.Arena) (A, B *hypermm.Matrix, err error) {
 	n := req.N
 	if len(req.A) == 0 && len(req.B) == 0 {
 		seed := req.Seed
 		if seed == 0 {
 			seed = 1
 		}
-		return hypermm.RandomMatrix(n, n, seed), hypermm.RandomMatrix(n, n, seed+1), nil
+		return arena.RandomMatrix(n, n, seed), arena.RandomMatrix(n, n, seed+1), nil
 	}
 	if len(req.A) != n*n || len(req.B) != n*n {
 		return nil, nil, fmt.Errorf("inline operands must both be n*n=%d values (got %d and %d)",
@@ -434,7 +488,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	hits, misses, entries := s.planner.CacheStats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprint(w, s.metrics.Render(hits, misses, entries))
+	fmt.Fprint(w, s.metrics.Render(hits, misses, entries, s.PoolStats()))
 }
 
 func parsePortsDefault(s string) (hypermm.PortModel, error) {

@@ -310,6 +310,11 @@ func TestMetricsEndpointAndAdmissionControl(t *testing.T) {
 		"hmmd_sim_predicted_ratio_count 2",
 		"hmmd_job_latency_seconds_count 2",
 		"hmmd_plan_cache_hits_total",
+		// One worker ran both jobs back to back: the first builds the
+		// machine, the second reuses it warm.
+		"hmmd_machine_pool_misses_total 1",
+		"hmmd_machine_pool_hits_total 1",
+		"hmmd_machine_pool_size 1",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("/metrics missing %q\n%s", want, out)

@@ -7,6 +7,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"hypermm"
 )
 
 // Metrics is the hmmd observability registry. It is hand-rolled — the
@@ -101,8 +103,9 @@ func (m *Metrics) LatencyQuantile(q float64) float64 {
 }
 
 // Render writes the Prometheus text exposition. The cache counters
-// come from the planner so the registry stays a passive sink.
-func (m *Metrics) Render(cacheHits, cacheMisses, cacheEntries int64) string {
+// come from the planner and the machine-pool counters from the pool,
+// so the registry stays a passive sink.
+func (m *Metrics) Render(cacheHits, cacheMisses, cacheEntries int64, pool hypermm.PoolStats) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var sb strings.Builder
@@ -126,6 +129,10 @@ func (m *Metrics) Render(cacheHits, cacheMisses, cacheEntries int64) string {
 	fmt.Fprintf(&sb, "# HELP hmmd_plan_cache_hits_total Planner LRU cache hits.\n# TYPE hmmd_plan_cache_hits_total counter\nhmmd_plan_cache_hits_total %d\n", cacheHits)
 	fmt.Fprintf(&sb, "# HELP hmmd_plan_cache_misses_total Planner LRU cache misses.\n# TYPE hmmd_plan_cache_misses_total counter\nhmmd_plan_cache_misses_total %d\n", cacheMisses)
 	fmt.Fprintf(&sb, "# HELP hmmd_plan_cache_entries Plans currently resident in the LRU cache.\n# TYPE hmmd_plan_cache_entries gauge\nhmmd_plan_cache_entries %d\n", cacheEntries)
+
+	fmt.Fprintf(&sb, "# HELP hmmd_machine_pool_hits_total Jobs served by a warm pooled machine.\n# TYPE hmmd_machine_pool_hits_total counter\nhmmd_machine_pool_hits_total %d\n", pool.Hits)
+	fmt.Fprintf(&sb, "# HELP hmmd_machine_pool_misses_total Jobs that had to build a machine.\n# TYPE hmmd_machine_pool_misses_total counter\nhmmd_machine_pool_misses_total %d\n", pool.Misses)
+	fmt.Fprintf(&sb, "# HELP hmmd_machine_pool_size Idle warm machines currently pooled.\n# TYPE hmmd_machine_pool_size gauge\nhmmd_machine_pool_size %d\n", pool.Size)
 
 	m.latency.render(&sb, "hmmd_job_latency_seconds", "Job wall-clock latency in seconds.")
 	fmt.Fprintf(&sb, "# HELP hmmd_job_latency_quantile_seconds Approximate latency quantiles from the histogram.\n# TYPE hmmd_job_latency_quantile_seconds gauge\n")

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"hypermm"
 )
 
 func TestMetricsRender(t *testing.T) {
@@ -19,7 +21,7 @@ func TestMetricsRender(t *testing.T) {
 	m.JobError("link_down")
 
 	m.SetCalibrationLoaded(true)
-	out := m.Render(7, 2, 5)
+	out := m.Render(7, 2, 5, hypermm.PoolStats{Hits: 11, Misses: 4, Size: 3})
 	for _, want := range []string{
 		"hmmd_queue_depth 3",
 		"hmmd_inflight_jobs 1",
@@ -30,6 +32,9 @@ func TestMetricsRender(t *testing.T) {
 		"hmmd_plan_cache_hits_total 7",
 		"hmmd_plan_cache_misses_total 2",
 		"hmmd_plan_cache_entries 5",
+		"hmmd_machine_pool_hits_total 11",
+		"hmmd_machine_pool_misses_total 4",
+		"hmmd_machine_pool_size 3",
 		"hmmd_calibration_loaded 1",
 		"hmmd_job_latency_seconds_count 3",
 		`hmmd_job_latency_quantile_seconds{q="0.5"}`,

@@ -52,7 +52,8 @@ type Scheduler struct {
 	queue    chan *task
 	stopped  chan struct{} // closed when every worker has exited
 	metrics  *Metrics
-	mu       sync.Mutex // guards draining and the queue send
+	pool     *hypermm.MachinePool // warm machines; nil falls back to cold runs
+	mu       sync.Mutex           // guards draining and the queue send
 	draining bool
 
 	// onExec, when non-nil, runs at the start of every job execution.
@@ -62,8 +63,9 @@ type Scheduler struct {
 }
 
 // NewScheduler starts workers goroutines consuming a queue of depth
-// queueDepth (both forced to at least 1).
-func NewScheduler(workers, queueDepth int, m *Metrics) *Scheduler {
+// queueDepth (both forced to at least 1). Jobs execute on machines
+// checked out of pool; a nil pool builds a cold machine per job.
+func NewScheduler(workers, queueDepth int, pool *hypermm.MachinePool, m *Metrics) *Scheduler {
 	if workers < 1 {
 		workers = 1
 	}
@@ -74,6 +76,7 @@ func NewScheduler(workers, queueDepth int, m *Metrics) *Scheduler {
 		queue:   make(chan *task, queueDepth),
 		stopped: make(chan struct{}),
 		metrics: m,
+		pool:    pool,
 	}
 	workerDone := make(chan struct{}, workers)
 	for i := 0; i < workers; i++ {
@@ -169,9 +172,14 @@ func (s *Scheduler) execute(t *task) {
 		tr  *hypermm.Trace
 		err error
 	)
-	if t.job.Trace {
+	switch {
+	case t.job.Trace && s.pool != nil:
+		res, tr, err = s.pool.RunOnTraced(t.job.Plan.Algorithm, t.job.Cfg, t.job.A, t.job.B)
+	case t.job.Trace:
 		res, tr, err = hypermm.RunTraced(t.job.Plan.Algorithm, t.job.Cfg, t.job.A, t.job.B)
-	} else {
+	case s.pool != nil:
+		res, err = s.pool.RunOn(t.job.Plan.Algorithm, t.job.Cfg, t.job.A, t.job.B)
+	default:
 		res, err = hypermm.Run(t.job.Plan.Algorithm, t.job.Cfg, t.job.A, t.job.B)
 	}
 	wall := time.Since(start)

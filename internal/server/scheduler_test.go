@@ -27,7 +27,9 @@ func testJob(t *testing.T) Job {
 
 func TestSchedulerRunsJob(t *testing.T) {
 	m := NewMetrics()
-	s := NewScheduler(2, 4, m)
+	pool := hypermm.NewMachinePool(2)
+	defer pool.Close()
+	s := NewScheduler(2, 4, pool, m)
 	job := testJob(t)
 	job.Verify = true
 	r, err := s.Submit(context.Background(), job)
@@ -43,11 +45,24 @@ func TestSchedulerRunsJob(t *testing.T) {
 	if jobs := m.Jobs(); jobs["3dall"] != 1 {
 		t.Errorf("jobs counter = %v, want 3dall:1", jobs)
 	}
+	// A second identical job reuses the warm machine and must report the
+	// same simulated makespan bit for bit.
+	r2, err := s.Submit(context.Background(), testJob(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Res.Elapsed != r.Res.Elapsed {
+		t.Errorf("warm rerun Elapsed %g != first run %g", r2.Res.Elapsed, r.Res.Elapsed)
+	}
+	st := pool.Stats()
+	if st.Hits < 1 || st.Misses < 1 {
+		t.Errorf("pool stats after warm rerun look wrong: %+v", st)
+	}
 }
 
 func TestSchedulerSaturationAndDrain(t *testing.T) {
 	m := NewMetrics()
-	s := NewScheduler(1, 1, m)
+	s := NewScheduler(1, 1, nil, m)
 	hold := make(chan struct{})
 	entered := make(chan struct{}, 4)
 	s.onExec = func() {
@@ -113,7 +128,7 @@ func TestSchedulerSaturationAndDrain(t *testing.T) {
 
 func TestSchedulerCanceledBeforeStart(t *testing.T) {
 	m := NewMetrics()
-	s := NewScheduler(1, 2, m)
+	s := NewScheduler(1, 2, nil, m)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	if _, err := s.Submit(ctx, testJob(t)); !errors.Is(err, context.Canceled) {
@@ -123,7 +138,7 @@ func TestSchedulerCanceledBeforeStart(t *testing.T) {
 
 func TestSchedulerFaultErrors(t *testing.T) {
 	m := NewMetrics()
-	s := NewScheduler(1, 2, m)
+	s := NewScheduler(1, 2, nil, m)
 
 	job := testJob(t)
 	job.Cfg.Faults = &hypermm.FaultPlan{Seed: 1, Drop: 1, MaxRetries: 2}

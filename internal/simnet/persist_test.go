@@ -1,0 +1,177 @@
+package simnet
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// exerciser is a nontrivial SPMD program touching sends, shaped
+// receives, self-delivery, compute and the barrier — the surfaces whose
+// state a machine reset must scrub.
+func exerciser(round uint64) func(n *Node) {
+	return func(n *Node) {
+		p := n.P()
+		right, left := (n.ID+1)%p, (n.ID-1+p)%p
+		n.Send(right, round<<8|1, []float64{float64(n.ID), float64(n.ID + 1)})
+		n.Send(n.ID, round<<8|2, []float64{42}) // self-delivery
+		msg := n.Recv(left, round<<8|1)
+		msg.Release()
+		n.Barrier()
+		n.Compute(100)
+		n.Recv(n.ID, round<<8|2).Release()
+		n.Send(n.ID^1, round<<8|3, make([]float64, 16))
+		n.Recv(n.ID^1, round<<8|3).Release()
+	}
+}
+
+// TestPersistentRunEquivalence pins the tentpole invariant: a persistent
+// machine (parked workers, warm reuse) produces RunStats byte-identical
+// to a fresh cold machine, run after run.
+func TestPersistentRunEquivalence(t *testing.T) {
+	cfg := Config{P: 8, Ports: OnePort, Ts: 10, Tw: 2, Tc: 0.5}
+	warmCfg := cfg
+	warmCfg.Persistent = true
+	warm := NewMachine(warmCfg)
+	defer warm.Close()
+	for round := uint64(0); round < 5; round++ {
+		cold := NewMachine(cfg)
+		want := cold.Run(exerciser(round))
+		got := warm.Run(exerciser(round))
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("round %d: persistent run diverged from fresh machine:\nfresh: %+v\nwarm:  %+v", round, want, got)
+		}
+	}
+}
+
+// TestPersistentReuseAfterFault checks a persistent machine survives a
+// faulted run and its next clean run is indistinguishable from a fresh
+// machine's.
+func TestPersistentReuseAfterFault(t *testing.T) {
+	cfg := Config{P: 4, Ports: OnePort, Ts: 1, Tw: 1, Persistent: true}
+	cfg.Faults = &FaultPlan{Seed: 9, Down: []Window{{Src: -1, Dst: -1, From: 0, To: 1e18}}, MaxRetries: 1}
+	m := NewMachine(cfg)
+	defer m.Close()
+	prog := exerciser(0)
+	if _, err := m.RunErr(prog); !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("hostile plan: got %v, want ErrLinkDown", err)
+	}
+	m.Cfg.Faults = nil
+	got, err := m.RunErr(prog)
+	if err != nil {
+		t.Fatalf("clean run after fault: %v", err)
+	}
+	want := NewMachine(Config{P: 4, Ports: OnePort, Ts: 1, Tw: 1}).Run(prog)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("post-fault reuse diverged:\nfresh: %+v\nwarm:  %+v", want, got)
+	}
+}
+
+// TestClosedMachine checks Close ends a persistent machine: further runs
+// are rejected with an error, and Close is idempotent.
+func TestClosedMachine(t *testing.T) {
+	m := NewMachine(Config{P: 2, Persistent: true})
+	m.Run(func(n *Node) {})
+	m.Close()
+	m.Close()
+	if _, err := m.RunErr(func(n *Node) {}); err == nil {
+		t.Fatal("RunErr on a closed machine succeeded")
+	}
+}
+
+// TestPoolBalanceAfterFaultedRun is the leak regression for the
+// abort/error path: a run that dies mid-collective leaves messages
+// parked in inboxes and pending queues, and RunErr must return their
+// pooled buffers. The program sends messages that are never received
+// (remote, self-delivered, and possibly blocked on back-pressure) and
+// then fails; the in-flight pool counters must come back to where they
+// started.
+func TestPoolBalanceAfterFaultedRun(t *testing.T) {
+	p0, m0 := PoolInFlight()
+	m := mach(4, OnePort, 1, 1, 0)
+	_, err := m.RunErr(func(n *Node) {
+		if n.ID == 0 {
+			for i := 0; i < 16; i++ {
+				n.Send(1, uint64(i), make([]float64, 32)) // never received
+			}
+			n.Send(0, 99, []float64{1}) // self-delivery, never received
+		}
+		if n.ID == 1 {
+			panic(&FaultError{Node: 1, Op: "recv", Src: -1, Dst: -1, Err: ErrLinkDown})
+		}
+		if n.ID > 1 {
+			n.Recv(0, 1000) // never sent: released by the abort
+		}
+	})
+	if !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("got %v, want ErrLinkDown", err)
+	}
+	p1, m1 := PoolInFlight()
+	if p1 != p0 || m1 != m0 {
+		t.Fatalf("pooled buffers leaked across faulted run: payloads %d -> %d, msgs %d -> %d", p0, p1, m0, m1)
+	}
+}
+
+// TestPoolBalanceAfterLinkDownSend covers the sendReliable fault paths:
+// both the retries-exhausted ErrLinkDown panic and the released payload
+// of every lost attempt must leave the pool balanced.
+func TestPoolBalanceAfterLinkDownSend(t *testing.T) {
+	p0, m0 := PoolInFlight()
+	m := NewMachine(Config{
+		P: 2, Ts: 1, Tw: 1,
+		Faults: &FaultPlan{Seed: 3, Down: []Window{{Src: 0, Dst: 1, From: 0, To: 1e18}}, MaxRetries: 2},
+	})
+	_, err := m.RunErr(func(n *Node) {
+		if n.ID == 0 {
+			n.Send(1, 5, make([]float64, 8))
+		}
+		if n.ID == 1 {
+			n.Recv(0, 5)
+		}
+	})
+	if !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("got %v, want ErrLinkDown", err)
+	}
+	p1, m1 := PoolInFlight()
+	if p1 != p0 || m1 != m0 {
+		t.Fatalf("pooled buffers leaked on link-down send: payloads %d -> %d, msgs %d -> %d", p0, p1, m0, m1)
+	}
+}
+
+// TestPoolBalanceAfterDeadline covers the deadline fault paths: a send
+// that trips the deadline after its payload box was checked out must
+// hand the box back before raising the fault.
+func TestPoolBalanceAfterDeadline(t *testing.T) {
+	p0, m0 := PoolInFlight()
+	m := NewMachine(Config{P: 2, Ts: 100, Tw: 1, Deadline: 50})
+	_, err := m.RunErr(func(n *Node) {
+		if n.ID == 0 {
+			n.Send(1, 1, make([]float64, 4)) // pushes the clock past the deadline
+			n.Send(1, 2, make([]float64, 4)) // trips it with a box in hand
+		}
+		if n.ID == 1 {
+			n.Recv(0, 1).Release()
+			n.Recv(0, 2).Release()
+		}
+	})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("got %v, want ErrDeadline", err)
+	}
+	p1, m1 := PoolInFlight()
+	if p1 != p0 || m1 != m0 {
+		t.Fatalf("pooled buffers leaked on deadline: payloads %d -> %d, msgs %d -> %d", p0, p1, m0, m1)
+	}
+}
+
+// TestPoolBalanceCleanRun: a program whose receivers release everything
+// they consume leaves the counters exactly balanced on the success path
+// too (reset releases any message a program legally abandoned).
+func TestPoolBalanceCleanRun(t *testing.T) {
+	p0, m0 := PoolInFlight()
+	m := mach(8, MultiPort, 5, 1, 0)
+	m.Run(exerciser(1))
+	p1, m1 := PoolInFlight()
+	if p1 != p0 || m1 != m0 {
+		t.Fatalf("pooled buffers leaked on clean run: payloads %d -> %d, msgs %d -> %d", p0, p1, m0, m1)
+	}
+}

@@ -1,6 +1,27 @@
 package simnet
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// In-flight pool accounting: payload boxes checked out by sends minus
+// boxes returned by Release, and Msg headers likewise. Receivers that
+// legally retain a payload never Release it, so the global counters only
+// balance for programs that consume (or abort out of) everything they
+// send — which is exactly what the leak regression tests construct.
+var (
+	payloadsInFlight atomic.Int64
+	msgsInFlight     atomic.Int64
+)
+
+// PoolInFlight reports the current number of pooled payload boxes and
+// Msg headers checked out and not yet released. Test instrumentation:
+// a program whose receivers release every consumed payload must leave
+// both deltas at zero across a run, faulted or not.
+func PoolInFlight() (payloads, msgs int64) {
+	return payloadsInFlight.Load(), msgsInFlight.Load()
+}
 
 // Payload buffer pooling.
 //
@@ -47,6 +68,7 @@ func getPayload(n int) *payloadBox {
 	if n == 0 {
 		return nil
 	}
+	payloadsInFlight.Add(1)
 	c := payloadClass(n)
 	if c > maxPayloadClass {
 		return &payloadBox{d: make([]float64, n), class: -1}
@@ -80,8 +102,10 @@ var msgPool = sync.Pool{New: func() any { return new(Msg) }}
 // a caller's slice); their header is still recycled.
 func (m *Msg) Release() {
 	if m.box != nil {
+		payloadsInFlight.Add(-1)
 		putPayload(m.box)
 	}
 	*m = Msg{}
+	msgsInFlight.Add(-1)
 	msgPool.Put(m)
 }

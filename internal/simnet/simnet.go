@@ -102,6 +102,15 @@ type Config struct {
 	// may consume; a node whose clock passes it fails with ErrDeadline
 	// at its next send, receive or collective step.
 	Deadline float64
+
+	// Persistent keeps one worker goroutine per node alive across runs:
+	// the first Run spawns them and subsequent runs hand the next
+	// program closure to the parked workers instead of respawning P
+	// goroutines. Machine pools use this to amortize setup across a
+	// serving workload; a persistent machine must be released with
+	// Close or its workers leak. Simulated clocks, counters and results
+	// are byte-identical in both modes (the per-run reset is the same).
+	Persistent bool
 }
 
 // Msg is a delivered message.
@@ -146,6 +155,16 @@ type Machine struct {
 	downOnce sync.Once
 	failMu   sync.Mutex
 	failErr  error
+
+	// Persistent-worker state (Cfg.Persistent): one goroutine per node
+	// parks on its work channel between runs. started/closed are only
+	// touched from the run-driving goroutine (RunErr and Close are not
+	// safe to call concurrently, same as two overlapping runs never
+	// were).
+	started bool
+	closed  bool
+	runWG   sync.WaitGroup
+	panics  chan string
 }
 
 // NewMachine builds a machine with cfg.P processor nodes.
@@ -173,9 +192,29 @@ func NewMachine(cfg Config) *Machine {
 			pend:     make(map[pendKey][]*Msg),
 			sendPort: make([]float64, m.numPorts()),
 			recvPort: make([]float64, m.numPorts()),
+			work:     make(chan func(*Node), 1),
 		}
 	}
 	return m
+}
+
+// Close releases the machine: parked in-flight message buffers return
+// to their pools and, on a persistent machine, the node worker
+// goroutines exit. A closed machine cannot run again. Close is
+// idempotent; it must not race a run in flight. Non-persistent machines
+// need no Close (their per-run goroutines exit on their own), but
+// calling it is always safe.
+func (m *Machine) Close() {
+	if m.closed {
+		return
+	}
+	m.closed = true
+	for _, n := range m.nodes {
+		n.releaseParked()
+		if m.started {
+			close(n.work)
+		}
+	}
 }
 
 // intSqrt returns the integer square root of x.
@@ -240,10 +279,13 @@ func (m *Machine) Run(program func(n *Node)) RunStats {
 // originating fault is returned as an error that errors.Is can match.
 // Any other node panic is re-raised with the node id attached.
 func (m *Machine) RunErr(program func(n *Node)) (RunStats, error) {
-	var wg sync.WaitGroup
-	panics := make(chan string, len(m.nodes))
+	if m.closed {
+		return RunStats{}, errors.New("simnet: machine is closed")
+	}
 	// Arm the abort machinery for this run. Node goroutines observe
-	// these writes through the happens-before edge of their spawn.
+	// these writes through the happens-before edge of their spawn (or,
+	// on a persistent machine, of the work-channel hand-off).
+	m.panics = make(chan string, len(m.nodes))
 	m.down = make(chan struct{})
 	m.downOnce = sync.Once{}
 	m.failMu.Lock()
@@ -252,38 +294,35 @@ func (m *Machine) RunErr(program func(n *Node)) (RunStats, error) {
 	// Re-arm the barrier: a previous aborted run may have left it
 	// broken or mid-generation with a nonzero arrival count.
 	m.bar.reset()
-	// Reset every node before spawning any program goroutine: a node
-	// spawned early may deliver its first messages to a peer whose
-	// reset has not happened yet, and reset drains the inbox — the
-	// message would be silently lost and its receiver would block
-	// forever (observed as a rare large-p deadlock).
+	// Reset every node before starting any program: a node started
+	// early may deliver its first messages to a peer whose reset has
+	// not happened yet, and reset drains the inbox — the message would
+	// be silently lost and its receiver would block forever (observed
+	// as a rare large-p deadlock).
 	for _, n := range m.nodes {
 		n.reset()
 	}
-	for _, n := range m.nodes {
-		wg.Add(1)
-		go func(n *Node) {
-			defer wg.Done()
-			defer func() {
-				r := recover()
-				if r == nil {
-					return
-				}
-				if fe, ok := r.(*FaultError); ok {
-					m.recordFault(fe)
-				} else {
-					panics <- fmt.Sprintf("node %d: %v", n.ID, r)
-				}
-				// Release peers blocked in receives, back-pressured
-				// sends, or the barrier so wg.Wait terminates.
-				m.abort()
-			}()
-			program(n)
-		}(n)
+	m.runWG.Add(len(m.nodes))
+	if m.Cfg.Persistent {
+		// Warm path: hand the program to the parked per-node workers.
+		if !m.started {
+			m.started = true
+			for _, n := range m.nodes {
+				go n.workLoop()
+			}
+		}
+		for _, n := range m.nodes {
+			n.work <- program
+		}
+	} else {
+		// Cold path: one fresh goroutine per node, per run.
+		for _, n := range m.nodes {
+			go n.runProgram(program)
+		}
 	}
-	wg.Wait()
+	m.runWG.Wait()
 	select {
-	case p := <-panics:
+	case p := <-m.panics:
 		panic("simnet: " + p)
 	default:
 	}
@@ -291,9 +330,46 @@ func (m *Machine) RunErr(program func(n *Node)) (RunStats, error) {
 	err := m.failErr
 	m.failMu.Unlock()
 	if err != nil {
+		// The abort left in-flight messages parked in inboxes and
+		// pending queues; release their pooled buffers now so pool
+		// accounting balances without waiting for the next run's reset.
+		for _, n := range m.nodes {
+			n.releaseParked()
+		}
 		return RunStats{}, err
 	}
 	return m.collect(), nil
+}
+
+// workLoop is a persistent node worker: it parks on the work channel
+// between runs and executes one program closure per hand-off, until
+// Close ends it.
+func (n *Node) workLoop() {
+	for program := range n.work {
+		n.runProgram(program)
+	}
+}
+
+// runProgram executes one run's program on the node, converting a typed
+// fault panic into the machine's recorded failure (and any other panic
+// into a re-raise on the run's caller), then signals completion.
+func (n *Node) runProgram(program func(*Node)) {
+	defer n.m.runWG.Done()
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if fe, ok := r.(*FaultError); ok {
+			n.m.recordFault(fe)
+		} else {
+			n.m.panics <- fmt.Sprintf("node %d: %v", n.ID, r)
+		}
+		// Release peers blocked in receives, back-pressured
+		// sends, or the barrier so the run's wait terminates.
+		n.m.abort()
+	}()
+	program(n)
 }
 
 // abort releases every node blocked in a receive, a back-pressured send
@@ -365,6 +441,11 @@ type Node struct {
 
 	inbox chan *Msg
 
+	// work receives one program closure per run when the machine is
+	// persistent (Cfg.Persistent); the node's worker goroutine parks on
+	// it between runs. Unused (but allocated) in cold mode.
+	work chan func(*Node)
+
 	// pend indexes out-of-order arrivals by (source, tag) so match is
 	// O(1) instead of a scan of every parked message. Queues are FIFO
 	// per key; emptied queues keep their backing arrays for reuse. The
@@ -389,9 +470,20 @@ func (n *Node) reset() {
 	for d := range n.sendPort {
 		n.sendPort[d], n.recvPort[d] = 0, 0
 	}
+	n.releaseParked()
+	n.msgs, n.words, n.startups, n.wordHops, n.flops, n.retries = 0, 0, 0, 0, 0, 0
+	n.peakWords = 0
+}
+
+// releaseParked returns every message stranded in the node's pending
+// index or inbox (an aborted run leaves both populated) to the payload
+// and header pools. Safe to call from the run-driving goroutine when no
+// node program is executing.
+func (n *Node) releaseParked() {
 	n.pendMu.Lock()
 	for k, q := range n.pend {
-		for i := range q {
+		for i, msg := range q {
+			msg.Release()
 			q[i] = nil
 		}
 		n.pend[k] = q[:0]
@@ -400,10 +492,9 @@ func (n *Node) reset() {
 	n.pendMu.Unlock()
 	for {
 		select {
-		case <-n.inbox:
+		case msg := <-n.inbox:
+			msg.Release()
 		default:
-			n.msgs, n.words, n.startups, n.wordHops, n.flops, n.retries = 0, 0, 0, 0, 0, 0
-			n.peakWords = 0
 			return
 		}
 	}
@@ -486,8 +577,18 @@ func (n *Node) sendCore(dst int, tag uint64, data []float64, box *payloadBox, ro
 	if dst < 0 || dst >= n.m.Cfg.P {
 		panic(fmt.Sprintf("simnet: send to node %d out of range [0,%d)", dst, n.m.Cfg.P))
 	}
-	n.CheckDeadline()
+	if dl := n.m.Cfg.Deadline; dl > 0 && n.now > dl {
+		// Inline CheckDeadline that first returns the payload box the
+		// copying path already checked out; the raised fault is
+		// field-for-field identical.
+		if box != nil {
+			payloadsInFlight.Add(-1)
+			putPayload(box)
+		}
+		panic(&FaultError{Node: n.ID, Op: "deadline", Src: -1, Dst: -1, Err: ErrDeadline})
+	}
 	msg := msgPool.Get().(*Msg)
+	msgsInFlight.Add(1)
 	*msg = Msg{Src: n.ID, Dst: dst, Tag: tag, Data: data, Rows: rows, Cols: cols, box: box}
 	if f := n.m.Cfg.Corrupt; f != nil && dst != n.ID {
 		f(n.ID, dst, tag, data)
@@ -585,9 +686,20 @@ func (n *Node) sendReliable(fp *FaultPlan, msg *Msg, outDim int, c float64) {
 		n.retries++
 		n.occupySend(outDim, start+c+fp.ackTimeout(c+ackC)+fp.backoff(n.m.Cfg.Ts, attempt))
 		if attempt >= maxR {
-			panic(&FaultError{Node: n.ID, Op: "send", Src: n.ID, Dst: msg.Dst, Tag: msg.Tag, Attempts: attempt + 1, Err: ErrLinkDown})
+			// The payload never reached an inbox; recycle its buffers
+			// before raising the fault (capture the coordinates first —
+			// Release recycles the header).
+			dst, tag := msg.Dst, msg.Tag
+			msg.Release()
+			panic(&FaultError{Node: n.ID, Op: "send", Src: n.ID, Dst: dst, Tag: tag, Attempts: attempt + 1, Err: ErrLinkDown})
 		}
-		n.CheckDeadline()
+		if dl := n.m.Cfg.Deadline; dl > 0 && n.now > dl {
+			// Inline CheckDeadline with the in-flight message released:
+			// the fault (fields included) is identical, but the pooled
+			// payload and header are not stranded.
+			msg.Release()
+			panic(&FaultError{Node: n.ID, Op: "deadline", Src: -1, Dst: -1, Err: ErrDeadline})
+		}
 	}
 }
 
@@ -606,10 +718,23 @@ func (n *Node) occupySend(outDim int, t float64) {
 // typed abort fault if the run is torn down while blocked on
 // back-pressure.
 func (n *Node) deliver(msg *Msg) {
+	// Fast path: the inbox is buffered and almost never full, and a
+	// non-blocking send on a single channel skips the general select
+	// machinery on the hottest line of the emulator.
+	select {
+	case n.m.nodes[msg.Dst].inbox <- msg:
+		return
+	default:
+	}
 	select {
 	case n.m.nodes[msg.Dst].inbox <- msg:
 	case <-n.m.down:
-		panic(n.abortFault("send", n.ID, msg.Dst, msg.Tag))
+		// The message never entered an inbox, so nothing downstream can
+		// release it: recycle it here before backing out. Capture the
+		// fault coordinates first — Release recycles the header.
+		dst, tag := msg.Dst, msg.Tag
+		msg.Release()
+		panic(n.abortFault("send", n.ID, dst, tag))
 	}
 }
 
@@ -705,6 +830,20 @@ func (n *Node) match(src int, tag uint64) *Msg {
 	n.waiting.Store(true)
 	defer n.waiting.Store(false)
 	for {
+		// Fast path: drain whatever already sits in the inbox with
+		// non-blocking receives before paying for the two-case select.
+		// Teardown stays responsive — the inbox holds finitely many
+		// messages, so a node that never matches falls through to the
+		// blocking select below and sees the down signal there.
+		select {
+		case msg := <-n.inbox:
+			if msg.Src == src && msg.Tag == tag {
+				return msg
+			}
+			n.enqueuePending(msg)
+			continue
+		default:
+		}
 		select {
 		case msg := <-n.inbox:
 			if msg.Src == src && msg.Tag == tag {

@@ -40,6 +40,13 @@ func Run(alg Algorithm, cfg Config, A, B *Matrix) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return runOn(m, alg, A, B)
+}
+
+// runOn executes one multiplication on an existing machine — freshly
+// built by Run or checked out warm by MachinePool.RunOn; the two paths
+// produce identical results.
+func runOn(m *simnet.Machine, alg Algorithm, A, B *Matrix) (*Result, error) {
 	c, rs, err := alg.runner()(m, A.internal(), B.internal())
 	if err != nil {
 		return nil, err
@@ -47,15 +54,22 @@ func Run(alg Algorithm, cfg Config, A, B *Matrix) (*Result, error) {
 	return &Result{C: fromInternal(c), Elapsed: rs.Elapsed, Comm: commStats(rs)}, nil
 }
 
-func newMachine(cfg Config) (*simnet.Machine, error) {
+func validateConfig(cfg Config) error {
 	if cfg.P <= 0 || cfg.P&(cfg.P-1) != 0 {
-		return nil, fmt.Errorf("hypermm: P=%d is not a positive power of two", cfg.P)
+		return fmt.Errorf("hypermm: P=%d is not a positive power of two", cfg.P)
 	}
 	if cfg.Ts < 0 || cfg.Tw < 0 || cfg.Tc < 0 {
-		return nil, fmt.Errorf("hypermm: negative cost parameter in %+v", cfg)
+		return fmt.Errorf("hypermm: negative cost parameter in %+v", cfg)
 	}
 	if cfg.Deadline < 0 {
-		return nil, fmt.Errorf("hypermm: negative deadline %g", cfg.Deadline)
+		return fmt.Errorf("hypermm: negative deadline %g", cfg.Deadline)
+	}
+	return nil
+}
+
+func newMachine(cfg Config) (*simnet.Machine, error) {
+	if err := validateConfig(cfg); err != nil {
+		return nil, err
 	}
 	return simnet.NewMachine(simnet.Config{
 		P: cfg.P, Ports: cfg.Ports.internal(), Ts: cfg.Ts, Tw: cfg.Tw, Tc: cfg.Tc,

@@ -3,6 +3,7 @@ package hypermm
 import (
 	"io"
 
+	"hypermm/internal/simnet"
 	"hypermm/internal/trace"
 )
 
@@ -19,13 +20,19 @@ func RunTraced(alg Algorithm, cfg Config, A, B *Matrix) (*Result, *Trace, error)
 	if err != nil {
 		return nil, nil, err
 	}
+	return runTracedOn(m, alg, A, B)
+}
+
+// runTracedOn is runOn with event tracing attached to the machine for
+// the duration of the run (MachinePool strips the trace at return).
+func runTracedOn(m *simnet.Machine, alg Algorithm, A, B *Matrix) (*Result, *Trace, error) {
 	log := trace.New()
 	m.Cfg.Trace = log
-	c, rs, err := alg.runner()(m, A.internal(), B.internal())
+	res, err := runOn(m, alg, A, B)
 	if err != nil {
 		return nil, nil, err
 	}
-	return &Result{C: fromInternal(c), Elapsed: rs.Elapsed, Comm: commStats(rs)}, &Trace{log: log}, nil
+	return res, &Trace{log: log}, nil
 }
 
 // Gantt renders the timeline as one text row per node, width columns
