@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fuzz chaos bench serve-smoke calibrate-smoke soak soak-smoke clean
+.PHONY: check build test race vet fuzz chaos bench serve-smoke calibrate-smoke cluster-smoke soak soak-smoke clean
 
 check: vet build test race server-race
 
@@ -53,6 +53,25 @@ serve-smoke:
 	$(GO) run ./cmd/stress -url http://$(SMOKE_ADDR) -requests 1 -c 1 -n 64 -p 64 -smoke; rc=$$?; \
 	kill -TERM $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
 	rm -f /tmp/hmmd-smoke; exit $$rc
+
+# Cluster smoke: boot a coordinator and two worker processes, push a
+# concurrent batch through the coordinator's HTTP front-end with the
+# stress client's cluster mode (which first pins one response
+# byte-identical to a local run), SIGKILL one worker mid-batch, and
+# require every request to still answer 200 with at least one recorded
+# failover and the worker gauge down to 1.
+CLUSTER_HTTP ?= 127.0.0.1:17217
+CLUSTER_ADDR ?= 127.0.0.1:17218
+cluster-smoke:
+	$(GO) build -o /tmp/hmmd-cluster ./cmd/hmmd
+	@/tmp/hmmd-cluster -role coordinator -addr $(CLUSTER_HTTP) -cluster-addr $(CLUSTER_ADDR) & cpid=$$!; \
+	/tmp/hmmd-cluster -role worker -join $(CLUSTER_ADDR) -addr 127.0.0.1:0 -name w1 -workers 2 & w1pid=$$!; \
+	/tmp/hmmd-cluster -role worker -join $(CLUSTER_ADDR) -addr 127.0.0.1:0 -name w2 -workers 2 & w2pid=$$!; \
+	$(GO) run ./cmd/stress -url http://$(CLUSTER_HTTP) -requests 12 -c 6 -n 192 -p 64 \
+		-cluster 2 -kill-after 1 -kill-pid $$w1pid -smoke; rc=$$?; \
+	kill -TERM $$cpid $$w2pid 2>/dev/null; kill -KILL $$w1pid 2>/dev/null; \
+	wait $$cpid 2>/dev/null; wait $$w2pid 2>/dev/null; \
+	rm -f /tmp/hmmd-cluster; exit $$rc
 
 # Run the calibration pipeline end to end on a small grid and require
 # a valid, assertion-clean profile: the fit must stay within a generous
@@ -105,6 +124,8 @@ bench:
 	| $(GO) run ./cmd/bench2json -o BENCH_collectives.json
 	$(GO) test -run XXX -bench '^BenchmarkServe_' -benchtime $(BENCHTIME) ./internal/server \
 	| $(GO) run ./cmd/bench2json -o BENCH_serving.json
+	$(GO) test -run XXX -bench '^BenchmarkCluster_' -benchtime $(BENCHTIME) ./internal/cluster \
+	| $(GO) run ./cmd/bench2json -o BENCH_cluster.json
 
 clean:
 	$(GO) clean ./...

@@ -9,6 +9,9 @@
 //	hmmd -addr :8080 -workers 4 -queue 16
 //	hmmd -calibration profile.json   # plan with a cmd/calibrate profile
 //
+//	hmmd -role coordinator -addr :8080 -cluster-addr :9000
+//	hmmd -role worker -join host:9000 -addr :8081
+//
 // Endpoints:
 //
 //	POST /v1/matmul      run a multiplication ("algorithm": "auto" picks the winner)
@@ -21,6 +24,13 @@
 // With -calibration, plans are marked "calibrated": true and predicted
 // times come from the measurement-fitted model instead of the raw
 // Table 2 expressions.
+//
+// With -role coordinator, a second TCP listener (-cluster-addr) accepts
+// worker registrations and every non-trace job is sharded least-loaded
+// across them, with health probes, circuit breakers and mid-job
+// failover. With -role worker, the process registers at -join and
+// executes jobs for the coordinator through its own scheduler and warm
+// machine pool; its HTTP endpoints stay available for local inspection.
 //
 // SIGTERM or SIGINT begins a graceful shutdown: intake stops (503),
 // in-flight and queued jobs drain, then the process exits.
@@ -39,7 +49,9 @@ import (
 	"syscall"
 	"time"
 
+	"hypermm"
 	"hypermm/internal/calibrate"
+	"hypermm/internal/cluster"
 	"hypermm/internal/server"
 )
 
@@ -47,13 +59,27 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil))
 }
 
+// newHTTPServer wraps the handler in an http.Server with hardened
+// listener timeouts: slow-header clients are cut off and idle
+// keep-alive connections reclaimed, while in-flight requests (jobs can
+// legitimately run long) stay unbounded and drain on shutdown.
+func newHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+}
+
 // run is main's testable body; ready (when non-nil) receives the bound
-// listen address once the server accepts connections.
+// cluster address first (coordinator role only, as "cluster=<addr>")
+// and then the bound HTTP listen address once the server accepts
+// connections.
 func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	fs := flag.NewFlagSet("hmmd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr    = fs.String("addr", ":8080", "listen address")
+		addr    = fs.String("addr", ":8080", "HTTP listen address")
 		workers = fs.Int("workers", 4, "scheduler worker pool size")
 		queue   = fs.Int("queue", 0, "scheduler queue depth (0: 2x workers)")
 		pool    = fs.Int("pool", 0, "warm machine pool capacity (0: 2x workers, negative: disable pooling)")
@@ -62,8 +88,24 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		maxP    = fs.Int("maxp", 4096, "largest accepted machine size")
 		drain   = fs.Duration("drain", 30*time.Second, "shutdown drain budget")
 		calib   = fs.String("calibration", "", "calibration profile JSON (from cmd/calibrate); empty: raw Table 2 model")
+
+		role        = fs.String("role", "", `cluster role: "" standalone, "coordinator", or "worker"`)
+		clusterAddr = fs.String("cluster-addr", ":9000", "coordinator: TCP listen address for worker registrations")
+		join        = fs.String("join", "", "worker: coordinator cluster address to register with")
+		joinWait    = fs.Duration("join-wait", 10*time.Second, "worker: how long to keep retrying registration")
+		name        = fs.String("name", "", "worker: advertised name (default host:pid)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch *role {
+	case "", "coordinator", "worker":
+	default:
+		fmt.Fprintf(stderr, "hmmd: unknown -role %q (want coordinator or worker)\n", *role)
+		return 2
+	}
+	if *role == "worker" && *join == "" {
+		fmt.Fprintln(stderr, "hmmd: -role worker requires -join <coordinator cluster address>")
 		return 2
 	}
 
@@ -79,9 +121,27 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 			*calib, profile.PortModel, profile.TsEff, profile.TwEff, 100*profile.MaxRelErr())
 	}
 
+	var coord *cluster.Coordinator
+	if *role == "coordinator" {
+		var err error
+		coord, err = cluster.NewCoordinator(cluster.Config{
+			Addr: *clusterAddr,
+			Logf: func(format string, a ...any) { fmt.Fprintf(stdout, format+"\n", a...) },
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "hmmd:", err)
+			return 1
+		}
+		defer coord.Close()
+		fmt.Fprintf(stdout, "hmmd: coordinator accepting workers on %s\n", coord.Addr())
+		if ready != nil {
+			ready <- "cluster=" + coord.Addr().String()
+		}
+	}
+
 	srv, err := server.New(server.Config{
 		Workers: *workers, QueueDepth: *queue, PoolSize: *pool, CacheSize: *cache,
-		MaxN: *maxN, MaxP: *maxP, Calibration: profile,
+		MaxN: *maxN, MaxP: *maxP, Calibration: profile, Cluster: coord,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "hmmd:", err)
@@ -98,7 +158,44 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		ready <- ln.Addr().String()
 	}
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// Worker role: register with the coordinator (retrying while it
+	// comes up) and execute its jobs through this process's scheduler,
+	// mapping local admission-control refusals to a busy answer the
+	// coordinator retries elsewhere.
+	var wk *cluster.Worker
+	workerErr := make(chan error, 1)
+	if *role == "worker" {
+		wname := *name
+		if wname == "" {
+			host, _ := os.Hostname()
+			wname = fmt.Sprintf("%s:%d", host, os.Getpid())
+		}
+		exec := func(ctx context.Context, alg hypermm.Algorithm, cfg hypermm.Config, A, B *hypermm.Matrix) (*hypermm.Result, error) {
+			res, err := srv.Execute(ctx, alg, cfg, A, B)
+			if errors.Is(err, server.ErrSaturated) || errors.Is(err, server.ErrDraining) {
+				return nil, fmt.Errorf("%w: %v", cluster.ErrBusy, err)
+			}
+			return res, err
+		}
+		deadline := time.Now().Add(*joinWait)
+		for {
+			wk, err = cluster.Join(context.Background(), *join, cluster.WorkerConfig{
+				Name: wname, Exec: exec, MaxN: *maxN, MaxP: *maxP,
+				Logf: func(format string, a ...any) { fmt.Fprintf(stdout, format+"\n", a...) },
+			})
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				fmt.Fprintln(stderr, "hmmd:", err)
+				return 1
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		go func() { workerErr <- wk.Serve(context.Background()) }()
+	}
+
+	httpSrv := newHTTPServer(srv.Handler())
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
@@ -108,15 +205,29 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	case err := <-serveErr:
 		fmt.Fprintln(stderr, "hmmd:", err)
 		return 1
+	case err := <-workerErr:
+		// The coordinator hung up (drain or death): finish local work
+		// and exit cleanly so a supervisor can rejoin a fresh one.
+		if err != nil {
+			fmt.Fprintln(stderr, "hmmd:", err)
+		}
 	case <-ctx.Done():
 	}
 
-	// Graceful shutdown: stop accepting connections and wait for
-	// in-flight HTTP requests, then drain the scheduler's jobs.
+	// Graceful shutdown. A worker first drains its coordinator
+	// connection (stop intake, flush in-flight results); a coordinator
+	// drains HTTP intake first, then the cluster, so every admitted job
+	// still reaches a worker before the goodbyes go out.
 	fmt.Fprintln(stdout, "hmmd: draining...")
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	code := 0
+	if wk != nil {
+		if err := wk.Stop(dctx); err != nil {
+			fmt.Fprintln(stderr, "hmmd: worker drain:", err)
+			code = 1
+		}
+	}
 	if err := httpSrv.Shutdown(dctx); err != nil {
 		fmt.Fprintln(stderr, "hmmd: http shutdown:", err)
 		code = 1
@@ -124,6 +235,12 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	if err := srv.Drain(dctx); err != nil {
 		fmt.Fprintln(stderr, "hmmd: scheduler drain:", err)
 		code = 1
+	}
+	if coord != nil {
+		if err := coord.Drain(dctx); err != nil {
+			fmt.Fprintln(stderr, "hmmd: cluster drain:", err)
+			code = 1
+		}
 	}
 	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(stderr, "hmmd:", err)

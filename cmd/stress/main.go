@@ -11,9 +11,17 @@
 // unless the scrape is non-empty. The serve-smoke make target uses it.
 //
 //	stress -url http://127.0.0.1:8080 -requests 64 -c 8 -n 64 -p 64
+//
+// Cluster mode (-cluster N on top of -url) drives a coordinator: it
+// waits for N registered workers, pins one response byte-identical to a
+// local run, and — with -kill-after K -kill-pid PID — SIGKILLs a worker
+// process mid-batch, then requires every request to still return 200,
+// at least one failover, and the worker gauge to drop to N-1. The
+// cluster-smoke make target uses it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -22,8 +30,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
+	"hypermm"
 	"hypermm/internal/algorithms"
 	"hypermm/internal/matrix"
 	"hypermm/internal/simnet"
@@ -43,11 +53,19 @@ func main() {
 		verify   = flag.Bool("verify", true, "ask the server to verify results (load mode)")
 		smoke    = flag.Bool("smoke", false, "smoke mode: wait for the server, fire requests, assert 200s and a non-empty /metrics")
 		wait     = flag.Duration("wait", 10*time.Second, "how long to wait for the server to come up (load mode)")
+
+		clusterN  = flag.Int("cluster", 0, "expect this many cluster workers before the batch (cluster mode)")
+		killAfter = flag.Int("kill-after", 0, "SIGKILL -kill-pid after this many 200 responses (cluster mode)")
+		killPid   = flag.Int("kill-pid", 0, "worker process to kill mid-batch (cluster mode)")
 	)
 	flag.Parse()
 
 	if *url != "" {
-		os.Exit(loadGenerate(*url, *requests, *conc, *n, *p, *alg, *verify, *smoke, *wait))
+		os.Exit(loadGenerate(loadOpts{
+			base: *url, requests: *requests, conc: *conc, n: *n, p: *p,
+			alg: *alg, verify: *verify, smoke: *smoke, wait: *wait,
+			cluster: *clusterN, killAfter: *killAfter, killPid: *killPid,
+		}))
 	}
 
 	A := matrix.Random(*n, *n, 1)
@@ -77,13 +95,27 @@ func main() {
 	}
 }
 
+// loadOpts parameterizes one load-generator run.
+type loadOpts struct {
+	base           string
+	requests, conc int
+	n, p           int
+	alg            string
+	verify, smoke  bool
+	wait           time.Duration
+
+	cluster   int // expected worker count; 0 disables cluster checks
+	killAfter int // SIGKILL killPid after this many 200s (0: never)
+	killPid   int
+}
+
 // loadGenerate drives hmmd and returns the process exit code.
-func loadGenerate(base string, requests, conc, n, p int, alg string, verify, smoke bool, wait time.Duration) int {
-	base = strings.TrimRight(base, "/")
+func loadGenerate(o loadOpts) int {
+	base := strings.TrimRight(o.base, "/")
 	client := &http.Client{Timeout: 60 * time.Second}
 
 	// Wait for the daemon to accept connections (smoke boots it fresh).
-	deadline := time.Now().Add(wait)
+	deadline := time.Now().Add(o.wait)
 	for {
 		resp, err := client.Get(base + "/healthz")
 		if err == nil {
@@ -97,16 +129,24 @@ func loadGenerate(base string, requests, conc, n, p int, alg string, verify, smo
 		time.Sleep(100 * time.Millisecond)
 	}
 
-	body := fmt.Sprintf(`{"n": %d, "p": %d, "algorithm": %q, "verify": %v}`, n, p, alg, verify)
+	if o.cluster > 0 {
+		if code := clusterPreflight(client, base, o); code != 0 {
+			return code
+		}
+	}
+
+	body := fmt.Sprintf(`{"n": %d, "p": %d, "algorithm": %q, "verify": %v}`, o.n, o.p, o.alg, o.verify)
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
 		statuses  = map[int]int{}
+		oks       int
+		killed    bool
 	)
 	start := time.Now()
 	work := make(chan int)
 	var wg sync.WaitGroup
-	for w := 0; w < conc; w++ {
+	for w := 0; w < o.conc; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -123,11 +163,25 @@ func loadGenerate(base string, requests, conc, n, p int, alg string, verify, smo
 				mu.Lock()
 				latencies = append(latencies, lat)
 				statuses[code]++
+				if code == 200 {
+					oks++
+					// Mid-batch worker kill: once enough requests have
+					// succeeded the victim certainly holds in-flight
+					// jobs from the remaining batch, so the coordinator
+					// must fail them over, invisibly to the clients.
+					if o.killAfter > 0 && o.killPid > 0 && !killed && oks >= o.killAfter {
+						killed = true
+						fmt.Printf("  killing worker pid %d after %d responses\n", o.killPid, oks)
+						if err := syscall.Kill(o.killPid, syscall.SIGKILL); err != nil {
+							fmt.Fprintln(os.Stderr, "stress: kill:", err)
+						}
+					}
+				}
 				mu.Unlock()
 			}
 		}()
 	}
-	for i := 0; i < requests; i++ {
+	for i := 0; i < o.requests; i++ {
 		work <- i
 	}
 	close(work)
@@ -142,7 +196,7 @@ func loadGenerate(base string, requests, conc, n, p int, alg string, verify, smo
 		i := int(q * float64(len(latencies)-1))
 		return latencies[i]
 	}
-	fmt.Printf("%d requests to %s (n=%d p=%d alg=%s, %d clients)\n", requests, base, n, p, alg, conc)
+	fmt.Printf("%d requests to %s (n=%d p=%d alg=%s, %d clients)\n", o.requests, base, o.n, o.p, o.alg, o.conc)
 	codes := make([]int, 0, len(statuses))
 	for c := range statuses {
 		codes = append(codes, c)
@@ -153,10 +207,10 @@ func loadGenerate(base string, requests, conc, n, p int, alg string, verify, smo
 	}
 	fmt.Printf("  latency p50 %v  p99 %v\n", quant(0.5), quant(0.99))
 	fmt.Printf("  steady-state %.1f req/s (%d requests in %v)\n",
-		float64(requests)/elapsed.Seconds(), requests, elapsed.Round(time.Millisecond))
+		float64(o.requests)/elapsed.Seconds(), o.requests, elapsed.Round(time.Millisecond))
 
-	ok := statuses[200] == requests
-	if smoke {
+	ok := statuses[200] == o.requests
+	if o.smoke {
 		resp, err := client.Get(base + "/metrics")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "stress: /metrics:", err)
@@ -170,9 +224,130 @@ func loadGenerate(base string, requests, conc, n, p int, alg string, verify, smo
 		}
 		fmt.Printf("  /metrics ok (%d bytes)\n", len(data))
 	}
+	if o.cluster > 0 && killed {
+		if code := clusterPostKill(client, base, o); code != 0 {
+			return code
+		}
+	}
 	if !ok {
 		fmt.Fprintln(os.Stderr, "stress: not every request returned 200")
 		return 1
 	}
 	return 0
+}
+
+// clusterPreflight waits for the expected worker count and pins one
+// coordinator-routed response byte-identical to a local hypermm.Run of
+// the same seeded job (the server builds operands from seed, seed+1).
+func clusterPreflight(client *http.Client, base string, o loadOpts) int {
+	deadline := time.Now().Add(o.wait)
+	want := fmt.Sprintf("hmmd_cluster_workers %d", o.cluster)
+	for {
+		data, code := scrapeMetrics(client, base)
+		if code != 0 {
+			return code
+		}
+		if strings.Contains(data, want) {
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "stress: never saw %q in /metrics\n", want)
+			return 1
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Printf("  cluster ready (%d workers)\n", o.cluster)
+
+	const seed = 7
+	body := fmt.Sprintf(`{"n": %d, "p": %d, "algorithm": "cannon", "seed": %d, "return_matrix": true}`, o.n, o.p, seed)
+	resp, err := client.Post(base+"/v1/matmul", "application/json", strings.NewReader(body))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stress: identity probe:", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	var mr struct {
+		Simulated struct {
+			Elapsed float64 `json:"elapsed"`
+		} `json:"simulated"`
+		C []float64 `json:"c"`
+	}
+	if resp.StatusCode != 200 || json.NewDecoder(resp.Body).Decode(&mr) != nil {
+		fmt.Fprintf(os.Stderr, "stress: identity probe status %d\n", resp.StatusCode)
+		return 1
+	}
+	local, err := hypermm.Run(hypermm.Cannon,
+		hypermm.Config{P: o.p, Ports: hypermm.OnePort, Ts: 150, Tw: 3, Tc: 0.5},
+		hypermm.RandomMatrix(o.n, o.n, seed), hypermm.RandomMatrix(o.n, o.n, seed+1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stress: identity probe local run:", err)
+		return 1
+	}
+	if mr.Simulated.Elapsed != local.Elapsed {
+		fmt.Fprintf(os.Stderr, "stress: cluster Elapsed %g != local %g\n", mr.Simulated.Elapsed, local.Elapsed)
+		return 1
+	}
+	if len(mr.C) != len(local.C.Data) {
+		fmt.Fprintf(os.Stderr, "stress: cluster product has %d words, want %d\n", len(mr.C), len(local.C.Data))
+		return 1
+	}
+	for i := range local.C.Data {
+		if mr.C[i] != local.C.Data[i] {
+			fmt.Fprintf(os.Stderr, "stress: cluster product word %d differs from local run\n", i)
+			return 1
+		}
+	}
+	fmt.Println("  cluster result byte-identical to local run")
+	return 0
+}
+
+// clusterPostKill verifies the coordinator noticed the killed worker:
+// the worker gauge drops to cluster-1 (the probe takes a moment) and at
+// least one failover was recorded.
+func clusterPostKill(client *http.Client, base string, o loadOpts) int {
+	want := fmt.Sprintf("hmmd_cluster_workers %d", o.cluster-1)
+	deadline := time.Now().Add(o.wait)
+	var data string
+	for {
+		var code int
+		data, code = scrapeMetrics(client, base)
+		if code != 0 {
+			return code
+		}
+		if strings.Contains(data, want) {
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "stress: never saw %q after the kill\n", want)
+			return 1
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	var failovers int
+	for _, line := range strings.Split(data, "\n") {
+		if strings.HasPrefix(line, "hmmd_cluster_failovers_total ") {
+			fmt.Sscanf(line, "hmmd_cluster_failovers_total %d", &failovers)
+		}
+	}
+	if failovers < 1 {
+		fmt.Fprintln(os.Stderr, "stress: worker killed mid-batch but no failover recorded")
+		return 1
+	}
+	fmt.Printf("  kill drill ok: %d worker(s) left, %d failover(s)\n", o.cluster-1, failovers)
+	return 0
+}
+
+func scrapeMetrics(client *http.Client, base string) (string, int) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stress: /metrics:", err)
+		return "", 1
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 {
+		fmt.Fprintf(os.Stderr, "stress: /metrics status %d\n", resp.StatusCode)
+		return "", 1
+	}
+	return string(data), 0
 }

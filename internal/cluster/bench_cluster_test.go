@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"hypermm"
+)
+
+// benchCluster boots a coordinator plus n LocalExec workers for a
+// benchmark and reports round-trip throughput.
+func benchCluster(b *testing.B, nWorkers, conc int) {
+	coord, err := NewCoordinator(Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer coord.Close()
+	for i := 0; i < nWorkers; i++ {
+		w, err := Join(context.Background(), coord.Addr().String(), WorkerConfig{
+			Name: fmt.Sprintf("bench-w%d", i), Exec: LocalExec,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		go w.Serve(context.Background())
+		defer w.Abort()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for coord.WorkerCount() != nWorkers {
+		if time.Now().After(deadline) {
+			b.Fatalf("worker count stuck at %d", coord.WorkerCount())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	A := hypermm.RandomMatrix(64, 64, 1)
+	B := hypermm.RandomMatrix(64, 64, 2)
+	cfg := hypermm.Config{P: 16, Ports: hypermm.OnePort, Ts: 150, Tw: 3, Tc: 0.5}
+
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	jobs := make(chan struct{})
+	for i := 0; i < conc; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range jobs {
+				if _, err := coord.Submit(context.Background(), hypermm.Cannon, cfg, A, B); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < b.N; i++ {
+		jobs <- struct{}{}
+	}
+	close(jobs)
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkCluster_RoundTrip_1Worker measures coordinator round-trip
+// throughput (dispatch + TCP + execute + result) against one worker.
+func BenchmarkCluster_RoundTrip_1Worker(b *testing.B) { benchCluster(b, 1, 4) }
+
+// BenchmarkCluster_RoundTrip_2Workers measures the same load spread
+// least-loaded across two workers.
+func BenchmarkCluster_RoundTrip_2Workers(b *testing.B) { benchCluster(b, 2, 4) }

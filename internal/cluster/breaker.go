@@ -1,0 +1,64 @@
+package cluster
+
+import "time"
+
+// breaker is a per-worker circuit breaker over job execution failures.
+// Consecutive failures at or past the threshold open the circuit: the
+// router skips the worker for a cooldown, after which exactly one
+// trial job is let through (half-open); its outcome closes or re-opens
+// the circuit. Transport-level deaths don't need a breaker — a dead
+// worker is removed from the registry outright — so the breaker only
+// sees jobs the worker answered abnormally (kindRun, kindBadJob).
+//
+// Not self-synchronized: the coordinator's mutex guards every call.
+type breaker struct {
+	threshold int           // consecutive failures to open
+	cooldown  time.Duration // open duration before a half-open trial
+	fails     int           // consecutive failures so far
+	openUntil time.Time
+	trial     bool // a half-open trial job is in flight
+}
+
+// Breaker states as reported by Stats.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+)
+
+// closed reports whether the circuit admits traffic freely.
+func (b *breaker) closed() bool { return b.fails < b.threshold }
+
+// canTrial reports whether an open circuit is ready for its half-open
+// trial job.
+func (b *breaker) canTrial(now time.Time) bool {
+	return !b.closed() && !b.trial && !now.Before(b.openUntil)
+}
+
+// beginTrial marks the half-open trial as dispatched.
+func (b *breaker) beginTrial() { b.trial = true }
+
+// success records a clean job answer and closes the circuit.
+func (b *breaker) success() { b.fails = 0; b.trial = false }
+
+// failure records an abnormal job answer; at the threshold the circuit
+// (re-)opens for a full cooldown.
+func (b *breaker) failure(now time.Time) {
+	b.fails++
+	b.trial = false
+	if b.fails >= b.threshold {
+		b.openUntil = now.Add(b.cooldown)
+	}
+}
+
+// state names the current circuit state for Stats and metrics.
+func (b *breaker) state(now time.Time) string {
+	switch {
+	case b.closed():
+		return BreakerClosed
+	case b.trial || !now.Before(b.openUntil):
+		return BreakerHalfOpen
+	default:
+		return BreakerOpen
+	}
+}

@@ -1,0 +1,655 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hypermm"
+)
+
+// Typed coordinator errors, mapped to HTTP statuses by internal/server.
+var (
+	// ErrDraining reports that the coordinator has stopped accepting
+	// jobs for shutdown.
+	ErrDraining = errors.New("cluster: coordinator draining")
+	// ErrNoWorkers reports that no healthy worker is registered (or
+	// every one is draining or circuit-broken).
+	ErrNoWorkers = errors.New("cluster: no healthy workers")
+	// ErrWorkerLost reports that the job's worker died mid-flight and
+	// the failover budget ran out before another worker finished it.
+	ErrWorkerLost = errors.New("cluster: worker lost mid-job")
+)
+
+// Config sizes the coordinator.
+type Config struct {
+	// Addr is the TCP listen address for worker registrations
+	// (e.g. "127.0.0.1:0").
+	Addr string
+
+	// ProbeInterval paces per-worker health pings (default 1s); a
+	// worker silent for ProbeMisses intervals (default 3) is declared
+	// dead and its in-flight jobs fail over.
+	ProbeInterval time.Duration
+	ProbeMisses   int
+
+	// MaxRetries bounds re-dispatches of one job after worker death or
+	// a busy answer (default 3); RetryBackoff is the initial backoff
+	// between attempts, doubling each time (default 25ms).
+	MaxRetries   int
+	RetryBackoff time.Duration
+
+	// BreakerThreshold consecutive abnormal job answers open a
+	// worker's circuit for BreakerCooldown before a half-open trial
+	// (defaults 3 and 5s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// MaxFrame bounds one received frame (default DefaultMaxFrame).
+	MaxFrame int
+
+	// Logf, when non-nil, receives worker-lifecycle log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeMisses < 1 {
+		c.ProbeMisses = 3
+	}
+	if c.MaxRetries < 1 {
+		c.MaxRetries = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 25 * time.Millisecond
+	}
+	if c.BreakerThreshold < 1 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = DefaultMaxFrame
+	}
+	return c
+}
+
+// outcome is what a dispatch attempt resolves to: a worker reply (with
+// its decoded product) or a transport-level failure.
+type outcome struct {
+	reply     jobReply
+	c         *hypermm.Matrix
+	transport error // non-nil: the worker died before answering
+}
+
+type pendingJob struct {
+	ch chan outcome // buffered(1); resolved exactly once
+}
+
+// workerConn is the coordinator's view of one registered worker. The
+// coordinator mutex guards every mutable field; frame writes serialize
+// on wmu so slow jobs don't block probes.
+type workerConn struct {
+	id    uint64
+	name  string
+	hello hello
+	conn  net.Conn
+	wmu   sync.Mutex
+
+	pending  map[uint64]*pendingJob
+	load     int   // dispatched, unanswered jobs
+	jobs     int64 // cleanly completed jobs
+	draining bool  // sent Goodbye; no new dispatches
+	dead     bool
+	brk      breaker
+
+	lastSeen atomic.Int64 // unix nanos of the last frame read
+}
+
+// Coordinator accepts worker registrations and routes jobs across them.
+type Coordinator struct {
+	cfg Config
+	ln  net.Listener
+
+	mu         sync.Mutex
+	workers    map[uint64]*workerConn
+	nextWorker uint64
+	draining   bool
+	submits    sync.WaitGroup // Submit calls in flight (for Drain)
+
+	nextJob    atomic.Uint64
+	dispatched atomic.Int64 // job frames sent
+	completed  atomic.Int64 // jobs answered cleanly
+	failovers  atomic.Int64 // re-dispatches after worker death
+	busyRetry  atomic.Int64 // re-dispatches after a busy answer
+
+	done      chan struct{} // closed on shutdown
+	closeOnce sync.Once
+}
+
+// NewCoordinator listens on cfg.Addr and starts accepting workers.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %s: %w", cfg.Addr, err)
+	}
+	c := &Coordinator{
+		cfg: cfg, ln: ln,
+		workers: map[uint64]*workerConn{},
+		done:    make(chan struct{}),
+	}
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr is the bound registration address workers join.
+func (c *Coordinator) Addr() net.Addr { return c.ln.Addr() }
+
+// WorkerCount reports the live (non-dead, non-draining) worker count.
+func (c *Coordinator) WorkerCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, w := range c.workers {
+		if !w.dead && !w.draining {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Coordinator) acceptLoop() {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go c.handshake(conn)
+	}
+}
+
+// handshake validates a worker's Hello and registers it.
+func (c *Coordinator) handshake(conn net.Conn) {
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	br := bufio.NewReader(conn)
+	mt, hdr, _, err := readFrame(br, c.cfg.MaxFrame)
+	if err != nil || mt != msgHello {
+		conn.Close()
+		return
+	}
+	var h hello
+	if err := json.Unmarshal(hdr, &h); err != nil {
+		conn.Close()
+		return
+	}
+	refuse := func(reason string) {
+		_ = writeFrame(conn, msgWelcome, welcome{Version: ProtocolVersion, OK: false, Reason: reason}, nil)
+		conn.Close()
+		c.logf("cluster: refused worker %q: %s", h.Name, reason)
+	}
+	if h.Version != ProtocolVersion {
+		refuse(fmt.Sprintf("protocol version %d, want %d", h.Version, ProtocolVersion))
+		return
+	}
+	if !hasCap(h.Capabilities, CapMatmul) {
+		refuse(fmt.Sprintf("missing capability %q", CapMatmul))
+		return
+	}
+
+	c.mu.Lock()
+	if c.draining {
+		c.mu.Unlock()
+		refuse("coordinator draining")
+		return
+	}
+	c.nextWorker++
+	w := &workerConn{
+		id: c.nextWorker, name: h.Name, hello: h, conn: conn,
+		pending: map[uint64]*pendingJob{},
+		brk:     breaker{threshold: c.cfg.BreakerThreshold, cooldown: c.cfg.BreakerCooldown},
+	}
+	if w.name == "" {
+		w.name = fmt.Sprintf("worker-%d", w.id)
+	}
+	w.lastSeen.Store(time.Now().UnixNano())
+	c.workers[w.id] = w
+	c.mu.Unlock()
+
+	if err := writeFrame(conn, msgWelcome, welcome{Version: ProtocolVersion, OK: true, WorkerID: w.id}, nil); err != nil {
+		c.markDead(w, err)
+		return
+	}
+	_ = conn.SetDeadline(time.Time{})
+	c.logf("cluster: worker %q joined from %s (id %d)", w.name, conn.RemoteAddr(), w.id)
+	go c.readLoop(w, br)
+	go c.probeLoop(w)
+}
+
+func hasCap(caps []string, want string) bool {
+	for _, c := range caps {
+		if c == want {
+			return true
+		}
+	}
+	return false
+}
+
+// readLoop consumes one worker's frames until the connection dies.
+func (c *Coordinator) readLoop(w *workerConn, br *bufio.Reader) {
+	for {
+		mt, hdr, tail, err := readFrame(br, c.cfg.MaxFrame)
+		if err != nil {
+			c.markDead(w, err)
+			return
+		}
+		w.lastSeen.Store(time.Now().UnixNano())
+		switch mt {
+		case msgResult:
+			var rep jobReply
+			if err := json.Unmarshal(hdr, &rep); err != nil {
+				c.markDead(w, fmt.Errorf("cluster: bad result header: %w", err))
+				return
+			}
+			c.deliver(w, rep, tail)
+		case msgPong:
+			// lastSeen already refreshed; the payload is telemetry only.
+		case msgGoodbye:
+			c.mu.Lock()
+			w.draining = true
+			c.mu.Unlock()
+			c.logf("cluster: worker %q draining (goodbye)", w.name)
+		}
+	}
+}
+
+// deliver resolves one job reply against its pending waiter and feeds
+// the worker's circuit breaker.
+func (c *Coordinator) deliver(w *workerConn, rep jobReply, tail []byte) {
+	c.mu.Lock()
+	p, ok := w.pending[rep.ID]
+	if ok {
+		delete(w.pending, rep.ID)
+		w.load--
+	}
+	switch rep.ErrKind {
+	case kindRun, kindBadJob:
+		// The worker answered abnormally: a broken executor, not a
+		// property of the request. Feed the breaker.
+		w.brk.failure(time.Now())
+	case kindBusy:
+		// Saturation is load, not sickness; don't poison the breaker,
+		// but don't reward it either.
+		w.brk.trial = false
+	default:
+		// Clean results and typed job-level faults (link_down,
+		// deadline) mean the worker machinery executed faithfully.
+		w.jobs++
+		w.brk.success()
+	}
+	c.mu.Unlock()
+	if !ok {
+		return // waiter gave up (ctx canceled) or job was failed over
+	}
+	var C *hypermm.Matrix
+	if rep.Err == "" {
+		var err error
+		if C, _, err = takeMatrix(tail, rep.Rows, rep.Cols); err != nil {
+			p.ch <- outcome{transport: fmt.Errorf("cluster: bad result tail from %s: %w", w.name, err)}
+			return
+		}
+	}
+	p.ch <- outcome{reply: rep, c: C}
+}
+
+// probeLoop pings the worker and declares it dead after too much
+// silence; any frame (result, pong) counts as life.
+func (c *Coordinator) probeLoop(w *workerConn) {
+	ticker := time.NewTicker(c.cfg.ProbeInterval)
+	defer ticker.Stop()
+	var seq uint64
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-ticker.C:
+		}
+		c.mu.Lock()
+		dead := w.dead
+		c.mu.Unlock()
+		if dead {
+			return
+		}
+		silent := time.Since(time.Unix(0, w.lastSeen.Load()))
+		if silent > time.Duration(c.cfg.ProbeMisses)*c.cfg.ProbeInterval {
+			c.markDead(w, fmt.Errorf("cluster: no frames for %v", silent.Round(time.Millisecond)))
+			return
+		}
+		seq++
+		if err := c.send(w, msgPing, ping{Seq: seq}, nil); err != nil {
+			c.markDead(w, err)
+			return
+		}
+	}
+}
+
+// markDead removes the worker and fails its in-flight jobs over: each
+// pending waiter gets a transport outcome, which its Submit loop turns
+// into a re-dispatch on another worker.
+func (c *Coordinator) markDead(w *workerConn, cause error) {
+	c.mu.Lock()
+	if w.dead {
+		c.mu.Unlock()
+		return
+	}
+	w.dead = true
+	delete(c.workers, w.id)
+	orphans := make([]*pendingJob, 0, len(w.pending))
+	for id, p := range w.pending {
+		delete(w.pending, id)
+		orphans = append(orphans, p)
+	}
+	w.load = 0
+	c.mu.Unlock()
+	w.conn.Close()
+	if len(orphans) > 0 || !isClosedConn(cause) {
+		c.logf("cluster: worker %q lost (%v), failing over %d in-flight job(s)", w.name, cause, len(orphans))
+	}
+	for _, p := range orphans {
+		p.ch <- outcome{transport: fmt.Errorf("%w: worker %q: %v", ErrWorkerLost, w.name, cause)}
+	}
+}
+
+func isClosedConn(err error) bool {
+	return err == nil || errors.Is(err, net.ErrClosed)
+}
+
+// pick selects the least-loaded healthy worker (ties to the oldest
+// registration, so routing is deterministic given loads) and registers
+// the pending job on it under one lock, so a concurrent markDead can
+// never strand the registration. Workers in exclude (already tried for
+// this job) are skipped. Closed breakers are preferred; with none, one
+// cooldown-expired breaker may admit a half-open trial.
+func (c *Coordinator) pick(id uint64, exclude map[uint64]bool) (*workerConn, *pendingJob) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	candidates := func(trial bool) *workerConn {
+		var best *workerConn
+		for _, w := range c.workers {
+			if w.dead || w.draining || exclude[w.id] {
+				continue
+			}
+			if trial {
+				if !w.brk.canTrial(time.Now()) {
+					continue
+				}
+			} else if !w.brk.closed() {
+				continue
+			}
+			if best == nil || w.load < best.load || (w.load == best.load && w.id < best.id) {
+				best = w
+			}
+		}
+		return best
+	}
+	w := candidates(false)
+	if w == nil {
+		if w = candidates(true); w == nil {
+			return nil, nil
+		}
+		w.brk.beginTrial()
+	}
+	p := &pendingJob{ch: make(chan outcome, 1)}
+	w.pending[id] = p
+	w.load++
+	return w, p
+}
+
+// cancelPending abandons a dispatched job whose waiter gave up; a late
+// reply then resolves against no waiter and is dropped.
+func (c *Coordinator) cancelPending(w *workerConn, id uint64) {
+	c.mu.Lock()
+	if _, ok := w.pending[id]; ok {
+		delete(w.pending, id)
+		w.load--
+	}
+	c.mu.Unlock()
+}
+
+// Submit routes one multiplication to a worker and returns its result,
+// failing over with exponential backoff when the worker dies mid-job
+// or answers busy. The result is byte-identical to hypermm.Run of the
+// same job: workers run the unmodified emulator, which is deterministic
+// in (alg, cfg, A, B) and independent of which process hosts it.
+func (c *Coordinator) Submit(ctx context.Context, alg hypermm.Algorithm, cfg hypermm.Config, A, B *hypermm.Matrix) (*hypermm.Result, error) {
+	c.mu.Lock()
+	if c.draining {
+		c.mu.Unlock()
+		return nil, ErrDraining
+	}
+	c.submits.Add(1)
+	c.mu.Unlock()
+	defer c.submits.Done()
+
+	spec := jobSpec{
+		Algorithm: alg.Name(), N: A.Rows, P: cfg.P, Ports: int(cfg.Ports),
+		Ts: cfg.Ts, Tw: cfg.Tw, Tc: cfg.Tc,
+		Deadline: cfg.Deadline, Fault: toWireFault(cfg.Faults),
+	}
+	if A.Rows != A.Cols || B.Rows != A.Rows || B.Cols != A.Rows {
+		return nil, fmt.Errorf("cluster: operands must be square and equal-sized, got %dx%d and %dx%d",
+			A.Rows, A.Cols, B.Rows, B.Cols)
+	}
+	tail := appendMatrix(make([]byte, 0, 2*len(A.Data)*8), A)
+	tail = appendMatrix(tail, B)
+
+	var exclude map[uint64]bool
+	backoff := c.cfg.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if deadline, ok := ctx.Deadline(); ok {
+			ms := time.Until(deadline).Milliseconds()
+			if ms <= 0 {
+				return nil, ctx.Err()
+			}
+			spec.WallMs = ms
+		}
+		spec.ID = c.nextJob.Add(1)
+		w, p := c.pick(spec.ID, exclude)
+		if w == nil && len(exclude) > 0 {
+			// Every untried worker is gone; the failed ones may still
+			// be the only capacity there is (e.g. a lone busy worker).
+			exclude = nil
+			w, p = c.pick(spec.ID, nil)
+		}
+		if w == nil {
+			if lastErr != nil {
+				return nil, lastErr
+			}
+			return nil, ErrNoWorkers
+		}
+		c.dispatched.Add(1)
+		if err := c.send(w, msgJob, spec, tail); err != nil {
+			c.markDead(w, err) // flushes p with a transport outcome
+		}
+
+		var out outcome
+		select {
+		case out = <-p.ch:
+		case <-ctx.Done():
+			c.cancelPending(w, spec.ID)
+			return nil, ctx.Err()
+		case <-c.done:
+			c.cancelPending(w, spec.ID)
+			return nil, ErrDraining
+		}
+
+		switch {
+		case out.transport != nil:
+			c.failovers.Add(1)
+			lastErr = out.transport
+			exclude = mark(exclude, w.id)
+			if err := sleepCtx(ctx, backoff); err != nil {
+				return nil, err
+			}
+			backoff *= 2
+		case out.reply.ErrKind == kindBusy:
+			c.busyRetry.Add(1)
+			lastErr = fmt.Errorf("%w: %s: %s", ErrBusy, w.name, out.reply.Err)
+			exclude = mark(exclude, w.id)
+			if err := sleepCtx(ctx, backoff); err != nil {
+				return nil, err
+			}
+			backoff *= 2
+		case out.reply.Err != "":
+			return nil, remoteError(w.name, out.reply)
+		default:
+			c.completed.Add(1)
+			return &hypermm.Result{C: out.c, Elapsed: out.reply.Elapsed, Comm: out.reply.Comm}, nil
+		}
+	}
+	return nil, fmt.Errorf("cluster: job failed after %d attempts: %w", c.cfg.MaxRetries+1, lastErr)
+}
+
+func mark(m map[uint64]bool, id uint64) map[uint64]bool {
+	if m == nil {
+		m = map[uint64]bool{}
+	}
+	m[id] = true
+	return m
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// remoteError rebuilds a typed error from the wire so errors.Is keeps
+// working across the process boundary.
+func remoteError(worker string, rep jobReply) error {
+	switch rep.ErrKind {
+	case kindLinkDown:
+		return fmt.Errorf("%w (worker %s: %s)", hypermm.ErrLinkDown, worker, rep.Err)
+	case kindDeadline:
+		return fmt.Errorf("%w (worker %s: %s)", hypermm.ErrDeadline, worker, rep.Err)
+	case kindCanceled:
+		return fmt.Errorf("%w (worker %s: %s)", context.DeadlineExceeded, worker, rep.Err)
+	default:
+		return fmt.Errorf("cluster: worker %s: %s", worker, rep.Err)
+	}
+}
+
+func (c *Coordinator) send(w *workerConn, mt byte, header any, tail []byte) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	return writeFrame(w.conn, mt, header, tail)
+}
+
+// Drain stops job intake, waits (bounded by ctx) for in-flight
+// submissions, then says goodbye to every worker and shuts the
+// listener down. Safe to call more than once.
+func (c *Coordinator) Drain(ctx context.Context) error {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+	done := make(chan struct{})
+	go func() { c.submits.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		c.shutdown()
+		return ctx.Err()
+	}
+	c.shutdown()
+	return nil
+}
+
+// Close shuts the coordinator down immediately; in-flight submissions
+// fail with ErrDraining.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+	c.shutdown()
+}
+
+func (c *Coordinator) shutdown() {
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.ln.Close()
+		c.mu.Lock()
+		ws := make([]*workerConn, 0, len(c.workers))
+		for _, w := range c.workers {
+			ws = append(ws, w)
+		}
+		c.mu.Unlock()
+		for _, w := range ws {
+			_ = c.send(w, msgGoodbye, struct{}{}, nil)
+			w.conn.Close()
+		}
+	})
+}
+
+// WorkerStats is one worker's row in Stats.
+type WorkerStats struct {
+	ID       uint64 `json:"id"`
+	Name     string `json:"name"`
+	Jobs     int64  `json:"jobs"`     // cleanly completed
+	Inflight int    `json:"inflight"` // dispatched, unanswered
+	Breaker  string `json:"breaker"`  // closed | open | half-open
+	Draining bool   `json:"draining"`
+}
+
+// Stats is a point-in-time snapshot for /metrics and the tests.
+type Stats struct {
+	Workers     []WorkerStats `json:"workers"`
+	Dispatched  int64         `json:"dispatched"`
+	Completed   int64         `json:"completed"`
+	Failovers   int64         `json:"failovers"`
+	BusyRetries int64         `json:"busy_retries"`
+	Draining    bool          `json:"draining"`
+}
+
+// Stats snapshots the cluster, workers sorted by registration order.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	st := Stats{
+		Dispatched:  c.dispatched.Load(),
+		Completed:   c.completed.Load(),
+		Failovers:   c.failovers.Load(),
+		BusyRetries: c.busyRetry.Load(),
+		Draining:    c.draining,
+	}
+	for _, w := range c.workers {
+		st.Workers = append(st.Workers, WorkerStats{
+			ID: w.id, Name: w.name, Jobs: w.jobs, Inflight: w.load,
+			Breaker: w.brk.state(now), Draining: w.draining,
+		})
+	}
+	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].ID < st.Workers[j].ID })
+	return st
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}

@@ -316,3 +316,29 @@ func TestFaultEquivRecoversTypedErrors(t *testing.T) {
 		t.Errorf("hostile plan produced %v, want ErrLinkDown", err)
 	}
 }
+
+// TestClusterEquivOracle exercises the cluster equivalence oracle on a
+// clean case and a recoverable faulted one: routing a job through a
+// real coordinator/worker pair over loopback TCP must change nothing
+// about the result, retries included.
+func TestClusterEquivOracle(t *testing.T) {
+	o, ok := OracleByName("clusterequiv")
+	if !ok {
+		t.Fatal("clusterequiv missing from the catalogue")
+	}
+	clean := Case{N: 16, P: 4, Ts: 10, Tw: 3, Tc: 0.5, Content: ContentRandom, ContentSeed: 31, Scale: 2, PlanKind: PlanClean}
+	if err := o.Check(clean); err != nil {
+		t.Errorf("clean case: %v", err)
+	}
+	light := Case{
+		N: 16, P: 4, Ts: 1, Tw: 1, Content: ContentSmallInt, ContentSeed: 32, Scale: 2,
+		PlanKind: PlanLight,
+		Plan:     &hypermm.FaultPlan{Seed: 6, Drop: 0.1, MaxRetries: 40},
+	}
+	if !light.Recoverable() {
+		t.Fatal("light case classified unrecoverable")
+	}
+	if err := o.Check(light); err != nil {
+		t.Errorf("recoverable case: %v", err)
+	}
+}

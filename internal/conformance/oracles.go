@@ -1,11 +1,14 @@
 package conformance
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"hypermm"
+	"hypermm/internal/cluster"
 	"hypermm/internal/cost"
 	"hypermm/internal/verify"
 )
@@ -89,6 +92,13 @@ func Oracles() []Oracle {
 				"reproduces the fault-free product exactly",
 			Applies: func(c Case) bool { return c.Recoverable() },
 			Check:   checkFaultEquiv,
+		},
+		{
+			Name: "clusterequiv",
+			Doc: "cluster equivalence: a job routed through a coordinator and " +
+				"worker over the TCP RPC protocol returns byte-identical " +
+				"product, Elapsed and CommStats to a local run",
+			Check: checkClusterEquiv,
 		},
 	}
 }
@@ -453,6 +463,90 @@ func checkPoolEquiv(c Case) error {
 	}
 	if st := pool.Stats(); st.Hits == 0 {
 		return fmt.Errorf("pool reported no hits over repeated same-shape runs: %+v", st)
+	}
+	return nil
+}
+
+// clusterEquivAlgs bounds how many algorithms the cluster-equivalence
+// oracle routes per case: each costs two full runs plus a round trip of
+// both operands and the product over loopback TCP.
+const clusterEquivAlgs = 2
+
+// checkClusterEquiv boots a real coordinator and two workers over
+// loopback TCP and routes each algorithm through cluster.Submit: the
+// emulator is deterministic in (alg, cfg, A, B) regardless of which
+// process hosts it, and the wire codec is bit-exact (raw float64 words,
+// not decimal JSON), so the routed result must equal a local run
+// byte-for-byte. Recoverable fault plans travel the wire too — the
+// retry counters must survive serialization.
+//
+// Like poolequiv, this deliberately bypasses the runDistributed hook:
+// the oracle pins the cluster tier against hypermm.Run itself, and a
+// test-planted broken kernel would break both sides equally and hide.
+func checkClusterEquiv(c Case) error {
+	coord, err := cluster.NewCoordinator(cluster.Config{
+		Addr:          "127.0.0.1:0",
+		ProbeInterval: 200 * time.Millisecond,
+		RetryBackoff:  5 * time.Millisecond,
+	})
+	if err != nil {
+		return fmt.Errorf("coordinator: %v", err)
+	}
+	defer coord.Close()
+	for i := 0; i < 2; i++ {
+		w, err := cluster.Join(context.Background(), coord.Addr().String(), cluster.WorkerConfig{
+			Name: fmt.Sprintf("conf-w%d", i), Exec: cluster.LocalExec,
+		})
+		if err != nil {
+			return fmt.Errorf("worker %d join: %v", i, err)
+		}
+		go w.Serve(context.Background())
+		defer w.Abort()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for coord.WorkerCount() != 2 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("worker registrations stuck at %d", coord.WorkerCount())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	A, B := c.Operands()
+	cfg := c.cleanConfig()
+	algs := verify.Algorithms(c.N, c.P)
+	if len(algs) > clusterEquivAlgs {
+		algs = algs[:clusterEquivAlgs]
+	}
+	for _, alg := range algs {
+		local, err := hypermm.Run(alg, cfg, A, B)
+		if err != nil {
+			return fmt.Errorf("%s: local run: %v", alg.Name(), err)
+		}
+		routed, err := coord.Submit(context.Background(), alg, cfg, A, B)
+		if err != nil {
+			return fmt.Errorf("%s: cluster submit: %v", alg.Name(), err)
+		}
+		if err := equalResults(local, routed); err != nil {
+			return fmt.Errorf("%s: cluster-routed run diverged from local: %v", alg.Name(), err)
+		}
+		if c.Recoverable() {
+			fcfg := c.faultConfig()
+			local, err := hypermm.Run(alg, fcfg, A, B)
+			if err != nil {
+				return fmt.Errorf("%s: local faulted run: %v", alg.Name(), err)
+			}
+			routed, err := coord.Submit(context.Background(), alg, fcfg, A, B)
+			if err != nil {
+				return fmt.Errorf("%s: faulted cluster submit: %v", alg.Name(), err)
+			}
+			if err := equalResults(local, routed); err != nil {
+				return fmt.Errorf("%s: faulted cluster-routed run diverged from local: %v", alg.Name(), err)
+			}
+			observeRetries(routed.Comm.Retries)
+		}
+	}
+	if st := coord.Stats(); st.Failovers != 0 {
+		return fmt.Errorf("healthy loopback cluster recorded %d failovers", st.Failovers)
 	}
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 
 	"hypermm"
 	"hypermm/internal/calibrate"
+	"hypermm/internal/cluster"
 )
 
 // Config sizes the serving subsystem.
@@ -30,6 +31,11 @@ type Config struct {
 	// profile (internal/calibrate): the planner predicts with it, plans
 	// are marked calibrated, and GET /v1/calibration serves it.
 	Calibration *calibrate.Profile
+
+	// Cluster, when non-nil, makes this server a coordinator front-end:
+	// non-trace jobs are routed to registered cluster workers instead of
+	// executing in-process, and /metrics gains the cluster family.
+	Cluster *cluster.Coordinator
 }
 
 func (c Config) withDefaults() Config {
@@ -62,6 +68,7 @@ type Server struct {
 	sched   *Scheduler
 	metrics *Metrics
 	pool    *hypermm.MachinePool // nil when pooling is disabled
+	cluster *cluster.Coordinator // nil when serving standalone
 }
 
 // New builds a ready-to-serve Server. A Config.Calibration profile
@@ -84,13 +91,36 @@ func New(cfg Config) (*Server, error) {
 	if cfg.PoolSize > 0 {
 		pool = hypermm.NewMachinePool(cfg.PoolSize)
 	}
+	sched := NewScheduler(cfg.Workers, cfg.QueueDepth, pool, m)
+	sched.cluster = cfg.Cluster
 	return &Server{
 		cfg:     cfg,
 		planner: planner,
-		sched:   NewScheduler(cfg.Workers, cfg.QueueDepth, pool, m),
+		sched:   sched,
 		metrics: m,
 		pool:    pool,
+		cluster: cfg.Cluster,
 	}, nil
+}
+
+// Execute plans and runs one multiplication through the scheduler's
+// admission control, without the HTTP layer — cluster workers wrap it
+// as their ExecFunc. A plannable job keeps its predicted-time ratio in
+// the metrics; one the cost model refuses (the planner can be stricter
+// than the emulator) still executes, under a bare plan.
+func (s *Server) Execute(ctx context.Context, alg hypermm.Algorithm, cfg hypermm.Config, A, B *hypermm.Matrix) (*hypermm.Result, error) {
+	plan, err := s.planner.Plan(PlanRequest{
+		N: float64(A.Rows), P: float64(cfg.P),
+		Ts: cfg.Ts, Tw: cfg.Tw, Tc: cfg.Tc, Ports: cfg.Ports, Alg: &alg,
+	})
+	if err != nil {
+		plan = &Plan{Algorithm: alg, AlgorithmName: alg.Name()}
+	}
+	jr, err := s.sched.Submit(ctx, Job{Plan: plan, Cfg: cfg, A: A, B: B})
+	if err != nil {
+		return nil, err
+	}
+	return jr.Res, nil
 }
 
 // Metrics exposes the registry (for tests and the daemon).
@@ -235,6 +265,12 @@ func errStatus(err error) int {
 		return http.StatusTooManyRequests // 429: admission control
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable // 503: shutting down
+	case errors.Is(err, cluster.ErrDraining), errors.Is(err, cluster.ErrNoWorkers):
+		return http.StatusServiceUnavailable // 503: no cluster capacity
+	case errors.Is(err, cluster.ErrBusy):
+		return http.StatusTooManyRequests // 429: every worker saturated
+	case errors.Is(err, cluster.ErrWorkerLost):
+		return http.StatusBadGateway // 502: worker died, failover exhausted
 	case errors.Is(err, ErrBadRequest):
 		return http.StatusBadRequest
 	case errors.Is(err, ErrInapplicable):
@@ -487,8 +523,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	hits, misses, entries := s.planner.CacheStats()
+	var cl *cluster.Stats
+	if s.cluster != nil {
+		st := s.cluster.Stats()
+		cl = &st
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprint(w, s.metrics.Render(hits, misses, entries, s.PoolStats()))
+	fmt.Fprint(w, s.metrics.Render(hits, misses, entries, s.PoolStats(), cl))
 }
 
 func parsePortsDefault(s string) (hypermm.PortModel, error) {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"hypermm"
+	"hypermm/internal/cluster"
 )
 
 // Metrics is the hmmd observability registry. It is hand-rolled — the
@@ -103,9 +104,10 @@ func (m *Metrics) LatencyQuantile(q float64) float64 {
 }
 
 // Render writes the Prometheus text exposition. The cache counters
-// come from the planner and the machine-pool counters from the pool,
-// so the registry stays a passive sink.
-func (m *Metrics) Render(cacheHits, cacheMisses, cacheEntries int64, pool hypermm.PoolStats) string {
+// come from the planner, the machine-pool counters from the pool, and
+// the cluster family from the coordinator (cl nil when serving
+// standalone), so the registry stays a passive sink.
+func (m *Metrics) Render(cacheHits, cacheMisses, cacheEntries int64, pool hypermm.PoolStats, cl *cluster.Stats) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var sb strings.Builder
@@ -133,6 +135,36 @@ func (m *Metrics) Render(cacheHits, cacheMisses, cacheEntries int64, pool hyperm
 	fmt.Fprintf(&sb, "# HELP hmmd_machine_pool_hits_total Jobs served by a warm pooled machine.\n# TYPE hmmd_machine_pool_hits_total counter\nhmmd_machine_pool_hits_total %d\n", pool.Hits)
 	fmt.Fprintf(&sb, "# HELP hmmd_machine_pool_misses_total Jobs that had to build a machine.\n# TYPE hmmd_machine_pool_misses_total counter\nhmmd_machine_pool_misses_total %d\n", pool.Misses)
 	fmt.Fprintf(&sb, "# HELP hmmd_machine_pool_size Idle warm machines currently pooled.\n# TYPE hmmd_machine_pool_size gauge\nhmmd_machine_pool_size %d\n", pool.Size)
+
+	if cl != nil {
+		live := 0
+		for _, w := range cl.Workers {
+			if !w.Draining {
+				live++
+			}
+		}
+		fmt.Fprintf(&sb, "# HELP hmmd_cluster_workers Registered non-draining cluster workers.\n# TYPE hmmd_cluster_workers gauge\nhmmd_cluster_workers %d\n", live)
+		fmt.Fprintf(&sb, "# HELP hmmd_cluster_dispatches_total Job frames sent to workers.\n# TYPE hmmd_cluster_dispatches_total counter\nhmmd_cluster_dispatches_total %d\n", cl.Dispatched)
+		fmt.Fprintf(&sb, "# HELP hmmd_cluster_completed_total Jobs answered cleanly by workers.\n# TYPE hmmd_cluster_completed_total counter\nhmmd_cluster_completed_total %d\n", cl.Completed)
+		fmt.Fprintf(&sb, "# HELP hmmd_cluster_failovers_total Re-dispatches after a worker died mid-job.\n# TYPE hmmd_cluster_failovers_total counter\nhmmd_cluster_failovers_total %d\n", cl.Failovers)
+		fmt.Fprintf(&sb, "# HELP hmmd_cluster_busy_retries_total Re-dispatches after a busy answer.\n# TYPE hmmd_cluster_busy_retries_total counter\nhmmd_cluster_busy_retries_total %d\n", cl.BusyRetries)
+		sb.WriteString("# HELP hmmd_cluster_worker_jobs_total Cleanly completed jobs by worker.\n# TYPE hmmd_cluster_worker_jobs_total counter\n")
+		for _, w := range cl.Workers {
+			fmt.Fprintf(&sb, "hmmd_cluster_worker_jobs_total{worker=%q} %d\n", w.Name, w.Jobs)
+		}
+		sb.WriteString("# HELP hmmd_cluster_worker_inflight Dispatched, unanswered jobs by worker.\n# TYPE hmmd_cluster_worker_inflight gauge\n")
+		for _, w := range cl.Workers {
+			fmt.Fprintf(&sb, "hmmd_cluster_worker_inflight{worker=%q} %d\n", w.Name, w.Inflight)
+		}
+		sb.WriteString("# HELP hmmd_cluster_worker_breaker_open Circuit breaker state by worker (1 open or half-open, 0 closed).\n# TYPE hmmd_cluster_worker_breaker_open gauge\n")
+		for _, w := range cl.Workers {
+			open := 0
+			if w.Breaker != cluster.BreakerClosed {
+				open = 1
+			}
+			fmt.Fprintf(&sb, "hmmd_cluster_worker_breaker_open{worker=%q} %d\n", w.Name, open)
+		}
+	}
 
 	m.latency.render(&sb, "hmmd_job_latency_seconds", "Job wall-clock latency in seconds.")
 	fmt.Fprintf(&sb, "# HELP hmmd_job_latency_quantile_seconds Approximate latency quantiles from the histogram.\n# TYPE hmmd_job_latency_quantile_seconds gauge\n")

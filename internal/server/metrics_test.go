@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hypermm"
+	"hypermm/internal/cluster"
 )
 
 func TestMetricsRender(t *testing.T) {
@@ -21,7 +22,15 @@ func TestMetricsRender(t *testing.T) {
 	m.JobError("link_down")
 
 	m.SetCalibrationLoaded(true)
-	out := m.Render(7, 2, 5, hypermm.PoolStats{Hits: 11, Misses: 4, Size: 3})
+	cl := &cluster.Stats{
+		Workers: []cluster.WorkerStats{
+			{ID: 1, Name: "w0", Jobs: 9, Inflight: 1, Breaker: cluster.BreakerClosed},
+			{ID: 2, Name: "w1", Jobs: 4, Breaker: cluster.BreakerOpen},
+			{ID: 3, Name: "w2", Draining: true, Breaker: cluster.BreakerClosed},
+		},
+		Dispatched: 15, Completed: 13, Failovers: 1, BusyRetries: 2,
+	}
+	out := m.Render(7, 2, 5, hypermm.PoolStats{Hits: 11, Misses: 4, Size: 3}, cl)
 	for _, want := range []string{
 		"hmmd_queue_depth 3",
 		"hmmd_inflight_jobs 1",
@@ -41,10 +50,24 @@ func TestMetricsRender(t *testing.T) {
 		`hmmd_job_latency_quantile_seconds{q="0.99"}`,
 		"hmmd_sim_predicted_ratio_count 3",
 		`hmmd_sim_predicted_ratio_bucket{le="+Inf"} 3`,
+		"hmmd_cluster_workers 2", // the draining worker is not live
+		"hmmd_cluster_dispatches_total 15",
+		"hmmd_cluster_completed_total 13",
+		"hmmd_cluster_failovers_total 1",
+		"hmmd_cluster_busy_retries_total 2",
+		`hmmd_cluster_worker_jobs_total{worker="w0"} 9`,
+		`hmmd_cluster_worker_inflight{worker="w0"} 1`,
+		`hmmd_cluster_worker_breaker_open{worker="w0"} 0`,
+		`hmmd_cluster_worker_breaker_open{worker="w1"} 1`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics output missing %q\n%s", want, out)
 		}
+	}
+
+	// Standalone serving renders no cluster family at all.
+	if plain := m.Render(7, 2, 5, hypermm.PoolStats{}, nil); strings.Contains(plain, "hmmd_cluster_") {
+		t.Error("nil cluster stats still rendered a cluster metric")
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hypermm"
+	"hypermm/internal/cluster"
 )
 
 // Typed scheduler errors, mapped to HTTP statuses by the handlers.
@@ -55,6 +56,12 @@ type Scheduler struct {
 	pool     *hypermm.MachinePool // warm machines; nil falls back to cold runs
 	mu       sync.Mutex           // guards draining and the queue send
 	draining bool
+
+	// cluster, when non-nil, routes non-trace jobs to remote workers
+	// instead of executing them here; the queue and worker pool still
+	// bound how many cluster submissions are in flight. Trace jobs run
+	// locally — per-node timelines don't travel the wire.
+	cluster *cluster.Coordinator
 
 	// onExec, when non-nil, runs at the start of every job execution.
 	// Tests use it to hold a worker in place and make saturation and
@@ -173,6 +180,8 @@ func (s *Scheduler) execute(t *task) {
 		err error
 	)
 	switch {
+	case s.cluster != nil && !t.job.Trace:
+		res, err = s.cluster.Submit(t.ctx, t.job.Plan.Algorithm, t.job.Cfg, t.job.A, t.job.B)
 	case t.job.Trace && s.pool != nil:
 		res, tr, err = s.pool.RunOnTraced(t.job.Plan.Algorithm, t.job.Cfg, t.job.A, t.job.B)
 	case t.job.Trace:
@@ -211,6 +220,12 @@ func errKind(err error) string {
 		return "link_down"
 	case errors.Is(err, hypermm.ErrDeadline):
 		return "deadline"
+	case errors.Is(err, cluster.ErrWorkerLost):
+		return "worker_lost"
+	case errors.Is(err, cluster.ErrNoWorkers):
+		return "no_workers"
+	case errors.Is(err, cluster.ErrBusy):
+		return "cluster_busy"
 	default:
 		return "run"
 	}

@@ -332,15 +332,24 @@ func TestDiagnoseShowsBlockedNodes(t *testing.T) {
 	m := mach(2, OnePort, 0, 0, 0)
 	started := make(chan struct{})
 	finish := make(chan struct{})
-	go m.Run(func(n *Node) {
-		if n.ID == 1 {
-			close(started)
-			n.Recv(0, 42) // blocks until node 0 sends
-		} else {
-			<-finish
-			n.Send(1, 42, []float64{1})
-		}
-	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.Run(func(n *Node) {
+			if n.ID == 1 {
+				close(started)
+				n.Recv(0, 42).Release() // blocks until node 0 sends
+			} else {
+				<-finish
+				n.Send(1, 42, []float64{1})
+			}
+		})
+	}()
+	// Join the run before returning: its final send otherwise checks a
+	// payload box out of the pool concurrently with the next test, which
+	// under -shuffle=on can be a pool-balance snapshot.
+	defer func() { <-done }()
+	defer close(finish)
 	<-started
 	// Give node 1 a moment to block in match().
 	for i := 0; i < 100; i++ {
@@ -348,12 +357,10 @@ func TestDiagnoseShowsBlockedNodes(t *testing.T) {
 			if !strings.Contains(s, "waits on (src=0 tag=0x2a)") {
 				t.Errorf("diagnose output unexpected: %q", s)
 			}
-			close(finish)
 			return
 		}
 		time.Sleep(time.Millisecond)
 	}
-	close(finish)
 	t.Error("Diagnose never reported the blocked node")
 }
 
