@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fuzz chaos bench serve-smoke calibrate-smoke cluster-smoke soak soak-smoke clean
+.PHONY: check build test race vet fuzz chaos bench serve-smoke calibrate-smoke cluster-smoke obs-smoke soak soak-smoke clean
 
 check: vet build test race server-race
 
@@ -38,6 +38,7 @@ fuzz:
 	$(GO) test ./internal/collective -run XXX -fuzz FuzzReduceScatterShapes -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/matrix -run XXX -fuzz FuzzGridBlockRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/calibrate -run XXX -fuzz FuzzProfileParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cluster -run XXX -fuzz FuzzTraceContext -fuzztime $(FUZZTIME)
 
 # Differential verification harness under fault injection; deterministic
 # for a fixed -seed.
@@ -72,6 +73,21 @@ cluster-smoke:
 	kill -TERM $$cpid $$w2pid 2>/dev/null; kill -KILL $$w1pid 2>/dev/null; \
 	wait $$cpid 2>/dev/null; wait $$w2pid 2>/dev/null; \
 	rm -f /tmp/hmmd-cluster; exit $$rc
+
+# Observability smoke: boot hmmd with profiling on, serve one traced
+# request, follow its X-Trace-Id to GET /v1/trace/{id}, validate the
+# merged Chrome trace-event JSON (handler span + simulated timeline)
+# and keep it as an artifact, and require /debug/pprof to answer. CI
+# uploads OBS_TRACE so a failing run ships the evidence.
+OBS_ADDR ?= 127.0.0.1:17317
+OBS_TRACE ?= /tmp/hmmd-obs-trace.json
+obs-smoke:
+	$(GO) build -o /tmp/hmmd-obs ./cmd/hmmd
+	@/tmp/hmmd-obs -addr $(OBS_ADDR) -pprof & pid=$$!; \
+	$(GO) run ./cmd/stress -url http://$(OBS_ADDR) -requests 1 -c 1 -n 64 -p 64 \
+		-smoke -trace-out $(OBS_TRACE) -pprof-check; rc=$$?; \
+	kill -TERM $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	rm -f /tmp/hmmd-obs; exit $$rc
 
 # Run the calibration pipeline end to end on a small grid and require
 # a valid, assertion-clean profile: the fit must stay within a generous

@@ -12,14 +12,29 @@
 //	hmmd -role coordinator -addr :8080 -cluster-addr :9000
 //	hmmd -role worker -join host:9000 -addr :8081
 //
+//	hmmd -log-format text -log-level debug -pprof   # human logs, profiling on
+//	hmmd -version                                   # build info and exit
+//
 // Endpoints:
 //
 //	POST /v1/matmul      run a multiplication ("algorithm": "auto" picks the winner)
 //	GET  /v1/plan        cost-model plan without running anything
 //	GET  /v1/regionmap   Figure 13/14-style best-algorithm map (text)
 //	GET  /v1/calibration the loaded calibration profile (404 without one)
+//	GET  /v1/trace/{id}  a recent request's trace: Chrome trace-event JSON
+//	                     (default; merged with the simulated timeline for
+//	                     "trace": true jobs) or raw spans (?format=spans)
+//	GET  /v1/version     build identity from the binary's embedded info
+//	GET  /debug/pprof/*  net/http/pprof profiling (only with -pprof)
 //	GET  /healthz        ok, or 503 while draining
 //	GET  /metrics        Prometheus text exposition
+//
+// Every /v1/matmul response carries an X-Trace-Id header naming its
+// trace; -trace-ring bounds how many recent traces are kept (-1
+// disables tracing). Logs are structured log/slog lines (-log-level,
+// -log-format) sharing the same trace IDs. In cluster roles the trace
+// context rides the job RPC, so a coordinator's /v1/trace/{id} shows
+// dispatch attempts and the workers' execute spans in one timeline.
 //
 // With -calibration, plans are marked "calibrated": true and predicted
 // times come from the measurement-fitted model instead of the raw
@@ -52,6 +67,7 @@ import (
 	"hypermm"
 	"hypermm/internal/calibrate"
 	"hypermm/internal/cluster"
+	"hypermm/internal/obs"
 	"hypermm/internal/server"
 )
 
@@ -94,8 +110,31 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		join        = fs.String("join", "", "worker: coordinator cluster address to register with")
 		joinWait    = fs.Duration("join-wait", 10*time.Second, "worker: how long to keep retrying registration")
 		name        = fs.String("name", "", "worker: advertised name (default host:pid)")
+
+		logLevel  = fs.String("log-level", "info", "log level: debug, info, warn or error")
+		logFormat = fs.String("log-format", "json", "log format: json or text")
+		pprofOn   = fs.Bool("pprof", false, "mount /debug/pprof/* profiling endpoints (opt-in)")
+		traceRing = fs.Int("trace-ring", 0, "recent request traces kept for GET /v1/trace/{id} (0: 256, negative: disable tracing)")
+		version   = fs.Bool("version", false, "print build information and exit")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		v := server.ReadVersion()
+		fmt.Fprintf(stdout, "hmmd %s %s (built with %s", v.Module, v.Version, v.GoVersion)
+		if v.Revision != "" {
+			fmt.Fprintf(stdout, ", revision %s", v.Revision)
+			if v.Modified {
+				fmt.Fprint(stdout, " dirty")
+			}
+		}
+		fmt.Fprintln(stdout, ")")
+		return 0
+	}
+	logger, err := obs.NewLogger(stdout, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(stderr, "hmmd:", err)
 		return 2
 	}
 	switch *role {
@@ -109,6 +148,35 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		return 2
 	}
 
+	// Worker identity and the tracer's process label are settled before
+	// anything starts: the label stamps every span this process records,
+	// and the merged cross-process trace tells the tiers apart by it.
+	wname := *name
+	if wname == "" {
+		host, _ := os.Hostname()
+		wname = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	proc := "hmmd"
+	switch *role {
+	case "coordinator":
+		proc = "hmmd-coordinator"
+	case "worker":
+		proc = "hmmd-worker/" + wname
+	}
+	var tracer *obs.Tracer
+	if *traceRing >= 0 {
+		ring := *traceRing
+		if ring == 0 {
+			ring = 256
+		}
+		tracer = obs.NewTracer(proc, ring)
+	}
+
+	v := server.ReadVersion()
+	logger.Info("hmmd: starting",
+		"version", v.Version, "go", v.GoVersion, "revision", v.Revision,
+		"role", orStandalone(*role), "pprof", *pprofOn)
+
 	var profile *calibrate.Profile
 	if *calib != "" {
 		p, err := calibrate.Load(*calib)
@@ -117,23 +185,24 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 			return 1
 		}
 		profile = p
-		fmt.Fprintf(stdout, "hmmd: calibration profile %s loaded (%s-port, t_s eff %.4g, t_w eff %.4g, max rel err %.1f%%)\n",
-			*calib, profile.PortModel, profile.TsEff, profile.TwEff, 100*profile.MaxRelErr())
+		logger.Info("hmmd: calibration profile loaded",
+			"path", *calib, "ports", string(profile.PortModel),
+			"ts_eff", profile.TsEff, "tw_eff", profile.TwEff,
+			"max_rel_err", profile.MaxRelErr())
 	}
 
 	var coord *cluster.Coordinator
 	if *role == "coordinator" {
 		var err error
 		coord, err = cluster.NewCoordinator(cluster.Config{
-			Addr: *clusterAddr,
-			Logf: func(format string, a ...any) { fmt.Fprintf(stdout, format+"\n", a...) },
+			Addr: *clusterAddr, Log: logger, Tracer: tracer,
 		})
 		if err != nil {
 			fmt.Fprintln(stderr, "hmmd:", err)
 			return 1
 		}
 		defer coord.Close()
-		fmt.Fprintf(stdout, "hmmd: coordinator accepting workers on %s\n", coord.Addr())
+		logger.Info("hmmd: coordinator accepting workers", "addr", coord.Addr().String())
 		if ready != nil {
 			ready <- "cluster=" + coord.Addr().String()
 		}
@@ -142,6 +211,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	srv, err := server.New(server.Config{
 		Workers: *workers, QueueDepth: *queue, PoolSize: *pool, CacheSize: *cache,
 		MaxN: *maxN, MaxP: *maxP, Calibration: profile, Cluster: coord,
+		TraceRing: *traceRing, Tracer: tracer, Log: logger, Pprof: *pprofOn,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "hmmd:", err)
@@ -152,8 +222,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fmt.Fprintln(stderr, "hmmd:", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "hmmd listening on %s (workers=%d queue=%d)\n",
-		ln.Addr(), *workers, *queue)
+	logger.Info("hmmd: listening", "addr", ln.Addr().String(), "workers", *workers, "queue", *queue)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -165,11 +234,6 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	var wk *cluster.Worker
 	workerErr := make(chan error, 1)
 	if *role == "worker" {
-		wname := *name
-		if wname == "" {
-			host, _ := os.Hostname()
-			wname = fmt.Sprintf("%s:%d", host, os.Getpid())
-		}
 		exec := func(ctx context.Context, alg hypermm.Algorithm, cfg hypermm.Config, A, B *hypermm.Matrix) (*hypermm.Result, error) {
 			res, err := srv.Execute(ctx, alg, cfg, A, B)
 			if errors.Is(err, server.ErrSaturated) || errors.Is(err, server.ErrDraining) {
@@ -181,7 +245,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		for {
 			wk, err = cluster.Join(context.Background(), *join, cluster.WorkerConfig{
 				Name: wname, Exec: exec, MaxN: *maxN, MaxP: *maxP,
-				Logf: func(format string, a ...any) { fmt.Fprintf(stdout, format+"\n", a...) },
+				Log: logger, Tracer: tracer,
 			})
 			if err == nil {
 				break
@@ -218,7 +282,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	// connection (stop intake, flush in-flight results); a coordinator
 	// drains HTTP intake first, then the cluster, so every admitted job
 	// still reaches a worker before the goodbyes go out.
-	fmt.Fprintln(stdout, "hmmd: draining...")
+	logger.Info("hmmd: draining")
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	code := 0
@@ -246,6 +310,14 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		fmt.Fprintln(stderr, "hmmd:", err)
 		code = 1
 	}
-	fmt.Fprintln(stdout, "hmmd: drained, exiting")
+	logger.Info("hmmd: drained, exiting")
 	return code
+}
+
+// orStandalone names the empty role for the startup log.
+func orStandalone(role string) string {
+	if role == "" {
+		return "standalone"
+	}
+	return role
 }

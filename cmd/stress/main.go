@@ -57,6 +57,9 @@ func main() {
 		clusterN  = flag.Int("cluster", 0, "expect this many cluster workers before the batch (cluster mode)")
 		killAfter = flag.Int("kill-after", 0, "SIGKILL -kill-pid after this many 200 responses (cluster mode)")
 		killPid   = flag.Int("kill-pid", 0, "worker process to kill mid-batch (cluster mode)")
+
+		traceOut   = flag.String("trace-out", "", "fire one traced request, fetch its merged Chrome trace from /v1/trace/{id} and write it to this file (load mode)")
+		pprofCheck = flag.Bool("pprof-check", false, "assert GET /debug/pprof/cmdline answers 200 (load mode; server must run with -pprof)")
 	)
 	flag.Parse()
 
@@ -65,6 +68,7 @@ func main() {
 			base: *url, requests: *requests, conc: *conc, n: *n, p: *p,
 			alg: *alg, verify: *verify, smoke: *smoke, wait: *wait,
 			cluster: *clusterN, killAfter: *killAfter, killPid: *killPid,
+			traceOut: *traceOut, pprofCheck: *pprofCheck,
 		}))
 	}
 
@@ -107,6 +111,9 @@ type loadOpts struct {
 	cluster   int // expected worker count; 0 disables cluster checks
 	killAfter int // SIGKILL killPid after this many 200s (0: never)
 	killPid   int
+
+	traceOut   string // write one request's Chrome trace here ("": skip)
+	pprofCheck bool   // assert the pprof endpoints are mounted
 }
 
 // loadGenerate drives hmmd and returns the process exit code.
@@ -141,6 +148,7 @@ func loadGenerate(o loadOpts) int {
 		latencies []time.Duration
 		statuses  = map[int]int{}
 		oks       int
+		noTrace   int // responses missing the X-Trace-Id header
 		killed    bool
 	)
 	start := time.Now()
@@ -155,14 +163,19 @@ func loadGenerate(o loadOpts) int {
 				resp, err := client.Post(base+"/v1/matmul", "application/json", strings.NewReader(body))
 				lat := time.Since(t0)
 				code := -1
+				traced := false
 				if err == nil {
 					io.Copy(io.Discard, resp.Body)
 					resp.Body.Close()
 					code = resp.StatusCode
+					traced = resp.Header.Get("X-Trace-Id") != ""
 				}
 				mu.Lock()
 				latencies = append(latencies, lat)
 				statuses[code]++
+				if code != -1 && !traced {
+					noTrace++
+				}
 				if code == 200 {
 					oks++
 					// Mid-batch worker kill: once enough requests have
@@ -205,9 +218,13 @@ func loadGenerate(o loadOpts) int {
 	for _, c := range codes {
 		fmt.Printf("  status %3d  x%d\n", c, statuses[c])
 	}
-	fmt.Printf("  latency p50 %v  p99 %v\n", quant(0.5), quant(0.99))
+	fmt.Printf("  latency p50 %v  p95 %v  p99 %v\n", quant(0.5), quant(0.95), quant(0.99))
 	fmt.Printf("  steady-state %.1f req/s (%d requests in %v)\n",
 		float64(o.requests)/elapsed.Seconds(), o.requests, elapsed.Round(time.Millisecond))
+	if noTrace > 0 {
+		fmt.Fprintf(os.Stderr, "stress: %d response(s) missing the X-Trace-Id header\n", noTrace)
+		return 1
+	}
 
 	ok := statuses[200] == o.requests
 	if o.smoke {
@@ -229,10 +246,97 @@ func loadGenerate(o loadOpts) int {
 			return code
 		}
 	}
+	if o.traceOut != "" {
+		if code := traceFetch(client, base, o); code != 0 {
+			return code
+		}
+	}
+	if o.pprofCheck {
+		resp, err := client.Get(base + "/debug/pprof/cmdline")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stress: /debug/pprof/cmdline:", err)
+			return 1
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			fmt.Fprintf(os.Stderr, "stress: /debug/pprof/cmdline status %d (is the server running with -pprof?)\n", resp.StatusCode)
+			return 1
+		}
+		fmt.Println("  /debug/pprof ok")
+	}
 	if !ok {
 		fmt.Fprintln(os.Stderr, "stress: not every request returned 200")
 		return 1
 	}
+	return 0
+}
+
+// traceFetch fires one traced request, follows its X-Trace-Id to
+// GET /v1/trace/{id}, validates the Chrome trace-event shape (a
+// traceEvents array holding at least the handler's complete event and
+// the simulated timeline) and writes the JSON to o.traceOut.
+func traceFetch(client *http.Client, base string, o loadOpts) int {
+	body := fmt.Sprintf(`{"n": %d, "p": %d, "algorithm": %q, "trace": true}`, o.n, o.p, o.alg)
+	resp, err := client.Post(base+"/v1/matmul", "application/json", strings.NewReader(body))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stress: traced request:", err)
+		return 1
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	id := resp.Header.Get("X-Trace-Id")
+	if resp.StatusCode != 200 || id == "" {
+		fmt.Fprintf(os.Stderr, "stress: traced request status %d, trace id %q\n", resp.StatusCode, id)
+		return 1
+	}
+	tr, err := client.Get(base + "/v1/trace/" + id)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stress: /v1/trace:", err)
+		return 1
+	}
+	defer tr.Body.Close()
+	raw, _ := io.ReadAll(tr.Body)
+	if tr.StatusCode != 200 {
+		fmt.Fprintf(os.Stderr, "stress: /v1/trace/%s status %d\n", id, tr.StatusCode)
+		return 1
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &chrome); err != nil {
+		fmt.Fprintln(os.Stderr, "stress: trace is not Chrome trace-event JSON:", err)
+		return 1
+	}
+	spans, sims := 0, 0
+	root := false
+	for _, ev := range chrome.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		spans++
+		if ev.Name == "http.matmul" {
+			root = true
+		}
+		if ev.Cat == "sim" {
+			sims++
+		}
+	}
+	if chrome.DisplayTimeUnit == "" || !root || spans < 2 {
+		fmt.Fprintf(os.Stderr, "stress: trace %s malformed (unit %q, root=%v, %d complete events)\n",
+			id, chrome.DisplayTimeUnit, root, spans)
+		return 1
+	}
+	if err := os.WriteFile(o.traceOut, raw, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "stress: writing trace:", err)
+		return 1
+	}
+	fmt.Printf("  trace %s ok (%d events, %d simulated; written to %s)\n", id, spans, sims, o.traceOut)
 	return 0
 }
 

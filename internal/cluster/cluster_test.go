@@ -272,4 +272,3 @@ func TestBusyFailsOverToIdleWorker(t *testing.T) {
 		t.Errorf("no busy retries recorded: %+v", st)
 	}
 }
-

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sort"
 	"sync"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"hypermm"
+	"hypermm/internal/obs"
 )
 
 // Typed coordinator errors, mapped to HTTP statuses by internal/server.
@@ -55,8 +57,14 @@ type Config struct {
 	// MaxFrame bounds one received frame (default DefaultMaxFrame).
 	MaxFrame int
 
-	// Logf, when non-nil, receives worker-lifecycle log lines.
-	Logf func(format string, args ...any)
+	// Log receives worker-lifecycle events as structured records
+	// (nil: silent).
+	Log *slog.Logger
+
+	// Tracer, when non-nil, records one span per dispatch attempt and
+	// ingests the worker-side spans carried home in Result frames, so a
+	// trace started at the HTTP handler covers the cross-process hop.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +88,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxFrame <= 0 {
 		c.MaxFrame = DefaultMaxFrame
+	}
+	if c.Log == nil {
+		c.Log = obs.NopLogger()
 	}
 	return c
 }
@@ -196,7 +207,7 @@ func (c *Coordinator) handshake(conn net.Conn) {
 	refuse := func(reason string) {
 		_ = writeFrame(conn, msgWelcome, welcome{Version: ProtocolVersion, OK: false, Reason: reason}, nil)
 		conn.Close()
-		c.logf("cluster: refused worker %q: %s", h.Name, reason)
+		c.cfg.Log.Warn("cluster: worker refused", "worker", h.Name, "reason", reason)
 	}
 	if h.Version != ProtocolVersion {
 		refuse(fmt.Sprintf("protocol version %d, want %d", h.Version, ProtocolVersion))
@@ -231,7 +242,7 @@ func (c *Coordinator) handshake(conn net.Conn) {
 		return
 	}
 	_ = conn.SetDeadline(time.Time{})
-	c.logf("cluster: worker %q joined from %s (id %d)", w.name, conn.RemoteAddr(), w.id)
+	c.cfg.Log.Info("cluster: worker joined", "worker", w.name, "addr", conn.RemoteAddr().String(), "id", w.id)
 	go c.readLoop(w, br)
 	go c.probeLoop(w)
 }
@@ -268,7 +279,7 @@ func (c *Coordinator) readLoop(w *workerConn, br *bufio.Reader) {
 			c.mu.Lock()
 			w.draining = true
 			c.mu.Unlock()
-			c.logf("cluster: worker %q draining (goodbye)", w.name)
+			c.cfg.Log.Info("cluster: worker draining", "worker", w.name, "reason", "goodbye")
 		}
 	}
 }
@@ -363,7 +374,7 @@ func (c *Coordinator) markDead(w *workerConn, cause error) {
 	c.mu.Unlock()
 	w.conn.Close()
 	if len(orphans) > 0 || !isClosedConn(cause) {
-		c.logf("cluster: worker %q lost (%v), failing over %d in-flight job(s)", w.name, cause, len(orphans))
+		c.cfg.Log.Warn("cluster: worker lost", "worker", w.name, "cause", fmt.Sprint(cause), "failover_jobs", len(orphans))
 	}
 	for _, p := range orphans {
 		p.ch <- outcome{transport: fmt.Errorf("%w: worker %q: %v", ErrWorkerLost, w.name, cause)}
@@ -453,6 +464,15 @@ func (c *Coordinator) Submit(ctx context.Context, alg hypermm.Algorithm, cfg hyp
 	tail := appendMatrix(make([]byte, 0, 2*len(A.Data)*8), A)
 	tail = appendMatrix(tail, B)
 
+	// Trace context from the submitting request: each dispatch attempt
+	// gets its own span (parented under the caller's), and the attempt's
+	// context rides the Job frame so the worker parents its execute span
+	// under this exact attempt. With no Tracer the caller's context is
+	// still forwarded verbatim — a worker running with tracing enabled
+	// can then contribute its half even when the coordinator records
+	// nothing locally.
+	callerSC, _ := obs.FromContext(ctx)
+
 	var exclude map[uint64]bool
 	backoff := c.cfg.RetryBackoff
 	var lastErr error
@@ -478,6 +498,14 @@ func (c *Coordinator) Submit(ctx context.Context, alg hypermm.Algorithm, cfg hyp
 			}
 			return nil, ErrNoWorkers
 		}
+		_, aspan := c.cfg.Tracer.StartSpan(ctx, "cluster.attempt",
+			obs.Int("attempt", attempt), obs.String("worker", w.name),
+			obs.String("algorithm", spec.Algorithm), obs.Int("n", spec.N), obs.Int("p", spec.P))
+		if asc := aspan.Context(); asc.Valid() {
+			spec.TraceID, spec.SpanID = asc.TraceID, asc.SpanID
+		} else if callerSC.Valid() {
+			spec.TraceID, spec.SpanID = callerSC.TraceID, callerSC.SpanID
+		}
 		c.dispatched.Add(1)
 		if err := c.send(w, msgJob, spec, tail); err != nil {
 			c.markDead(w, err) // flushes p with a transport outcome
@@ -488,14 +516,23 @@ func (c *Coordinator) Submit(ctx context.Context, alg hypermm.Algorithm, cfg hyp
 		case out = <-p.ch:
 		case <-ctx.Done():
 			c.cancelPending(w, spec.ID)
+			aspan.Set(obs.String("outcome", "canceled"))
+			aspan.End()
 			return nil, ctx.Err()
 		case <-c.done:
 			c.cancelPending(w, spec.ID)
+			aspan.Set(obs.String("outcome", "draining"))
+			aspan.End()
 			return nil, ErrDraining
+		}
+		if out.transport == nil {
+			c.cfg.Tracer.Ingest(out.reply.Spans)
 		}
 
 		switch {
 		case out.transport != nil:
+			aspan.Set(obs.String("outcome", "worker_lost"))
+			aspan.End()
 			c.failovers.Add(1)
 			lastErr = out.transport
 			exclude = mark(exclude, w.id)
@@ -504,6 +541,8 @@ func (c *Coordinator) Submit(ctx context.Context, alg hypermm.Algorithm, cfg hyp
 			}
 			backoff *= 2
 		case out.reply.ErrKind == kindBusy:
+			aspan.Set(obs.String("outcome", "busy"))
+			aspan.End()
 			c.busyRetry.Add(1)
 			lastErr = fmt.Errorf("%w: %s: %s", ErrBusy, w.name, out.reply.Err)
 			exclude = mark(exclude, w.id)
@@ -512,9 +551,20 @@ func (c *Coordinator) Submit(ctx context.Context, alg hypermm.Algorithm, cfg hyp
 			}
 			backoff *= 2
 		case out.reply.Err != "":
+			kind := out.reply.ErrKind
+			if kind == "" {
+				kind = "error"
+			}
+			aspan.Set(obs.String("outcome", kind))
+			aspan.End()
 			return nil, remoteError(w.name, out.reply)
 		default:
+			aspan.Set(obs.String("outcome", "ok"))
+			aspan.End()
 			c.completed.Add(1)
+			c.cfg.Log.Debug("cluster: job done",
+				"job", spec.ID, "trace_id", spec.TraceID, "worker", w.name,
+				"algorithm", spec.Algorithm, "n", spec.N, "p", spec.P, "attempts", attempt+1)
 			return &hypermm.Result{C: out.c, Elapsed: out.reply.Elapsed, Comm: out.reply.Comm}, nil
 		}
 	}
@@ -646,10 +696,4 @@ func (c *Coordinator) Stats() Stats {
 	}
 	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].ID < st.Workers[j].ID })
 	return st
-}
-
-func (c *Coordinator) logf(format string, args ...any) {
-	if c.cfg.Logf != nil {
-		c.cfg.Logf(format, args...)
-	}
 }

@@ -34,6 +34,7 @@ import (
 	"math"
 
 	"hypermm"
+	"hypermm/internal/obs"
 )
 
 // ProtocolVersion is bumped on any incompatible frame or header change;
@@ -103,6 +104,23 @@ type jobSpec struct {
 	Deadline  float64    `json:"deadline,omitempty"` // simulated-time budget
 	WallMs    int64      `json:"wall_ms,omitempty"`  // remaining wall-clock budget
 	Fault     *wireFault `json:"fault,omitempty"`
+
+	// Trace context: the coordinator-side trace this job belongs to and
+	// the dispatch span to parent worker spans under. Optional; the
+	// worker validates both and silently ignores a malformed or
+	// oversized pair (observability is never allowed to fail a job).
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
+}
+
+// spanContext validates the spec's propagated trace context. Malformed
+// or oversized IDs — a hostile or buggy coordinator — yield ok=false
+// and the job simply runs untraced; they are never a job error.
+func (s *jobSpec) spanContext() (obs.SpanContext, bool) {
+	if s.TraceID == "" && s.SpanID == "" {
+		return obs.SpanContext{}, false
+	}
+	return obs.ParseSpanContext(s.TraceID, s.SpanID)
 }
 
 // jobReply is the Result frame header; on success the tail carries the
@@ -115,6 +133,11 @@ type jobReply struct {
 	Comm    hypermm.CommStats `json:"comm,omitempty"`
 	Rows    int               `json:"rows,omitempty"`
 	Cols    int               `json:"cols,omitempty"`
+
+	// Spans carries the worker-side spans of a propagated trace back to
+	// the coordinator, which ingests them into its ring so one trace ID
+	// resolves to the full cross-process timeline.
+	Spans []obs.SpanData `json:"spans,omitempty"`
 }
 
 // Remote error kinds, so the coordinator can rebuild typed errors on

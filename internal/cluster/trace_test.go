@@ -1,0 +1,249 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"hypermm"
+	"hypermm/internal/obs"
+)
+
+// tracedCluster is testCluster with per-tier tracers: the coordinator
+// records into ctracer, worker i into wtracers[i] (nil: untraced).
+func tracedCluster(t *testing.T, cfg Config, ctracer *obs.Tracer, wtracers []*obs.Tracer, execs ...ExecFunc) (*Coordinator, []*Worker) {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	cfg.Tracer = ctracer
+	coord, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	workers := make([]*Worker, len(execs))
+	for i, exec := range execs {
+		var tr *obs.Tracer
+		if i < len(wtracers) {
+			tr = wtracers[i]
+		}
+		w, err := Join(context.Background(), coord.Addr().String(), WorkerConfig{
+			Name: fmt.Sprintf("w%d", i), Exec: exec, Tracer: tr,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go w.Serve(context.Background())
+		t.Cleanup(w.Abort)
+		workers[i] = w
+	}
+	waitWorkers(t, coord, len(execs))
+	return coord, workers
+}
+
+func spansNamed(td obs.TraceData, name string) []obs.SpanData {
+	var out []obs.SpanData
+	for _, s := range td.Spans {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TestTraceContextPropagation pins the cross-process hop: a Submit
+// whose context carries a span lands one cluster.attempt span on the
+// coordinator and one worker.execute span — recorded in the worker's
+// process, shipped home in the Result frame — parented under that
+// exact attempt, all sharing the caller's trace ID with monotonic
+// nested intervals.
+func TestTraceContextPropagation(t *testing.T) {
+	ctracer := obs.NewTracer("coord", 8)
+	wtracer := obs.NewTracer("worker-0", 8)
+	coord, _ := tracedCluster(t, Config{}, ctracer, []*obs.Tracer{wtracer}, LocalExec)
+
+	A := hypermm.RandomMatrix(16, 16, 1)
+	B := hypermm.RandomMatrix(16, 16, 2)
+	ctx, root := ctracer.StartSpan(context.Background(), "test.root")
+	if _, err := coord.Submit(ctx, hypermm.Cannon, testCfg, A, B); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	td, ok := ctracer.Trace(root.TraceID())
+	if !ok {
+		t.Fatalf("trace %s not in the coordinator ring", root.TraceID())
+	}
+	attempts := spansNamed(td, "cluster.attempt")
+	if len(attempts) != 1 {
+		t.Fatalf("want 1 cluster.attempt span, got %d (%+v)", len(attempts), td.Spans)
+	}
+	att := attempts[0]
+	if att.Parent != root.SpanID() {
+		t.Errorf("attempt parent %q, want the root span %q", att.Parent, root.SpanID())
+	}
+	if got := att.Attrs["outcome"]; got != "ok" {
+		t.Errorf("attempt outcome %v, want ok", got)
+	}
+	execs := spansNamed(td, "worker.execute")
+	if len(execs) != 1 {
+		t.Fatalf("want 1 worker.execute span, got %d (%+v)", len(execs), td.Spans)
+	}
+	ex := execs[0]
+	if ex.TraceID != root.TraceID() {
+		t.Errorf("execute span trace %q, want %q", ex.TraceID, root.TraceID())
+	}
+	if ex.Parent != att.SpanID {
+		t.Errorf("execute parent %q, want the attempt span %q", ex.Parent, att.SpanID)
+	}
+	if ex.Process != "worker-0" {
+		t.Errorf("execute process %q, want worker-0", ex.Process)
+	}
+	// Same-host processes share the system clock, so the worker's
+	// interval must nest inside the coordinator's attempt interval.
+	if !(att.Start <= ex.Start && ex.Start <= ex.End && ex.End <= att.End) {
+		t.Errorf("intervals don't nest: attempt [%d, %d], execute [%d, %d]",
+			att.Start, att.End, ex.Start, ex.End)
+	}
+}
+
+// TestFailoverTraceShowsRetry pins the kill-mid-job acceptance: when
+// the job's first worker dies holding it, the reassembled trace must
+// contain the failed attempt (outcome worker_lost) AND the successful
+// re-dispatch, whose worker.execute span comes from the survivor.
+func TestFailoverTraceShowsRetry(t *testing.T) {
+	started := make(chan struct{}, 1)
+	stuck := func(ctx context.Context, alg hypermm.Algorithm, cfg hypermm.Config, A, B *hypermm.Matrix) (*hypermm.Result, error) {
+		started <- struct{}{}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	ctracer := obs.NewTracer("coord", 8)
+	wtr := []*obs.Tracer{obs.NewTracer("w0", 8), obs.NewTracer("w1", 8)}
+	coord, workers := tracedCluster(t, fastCfg(), ctracer, wtr, stuck, LocalExec)
+
+	A := hypermm.RandomMatrix(16, 16, 1)
+	B := hypermm.RandomMatrix(16, 16, 2)
+	ctx, root := ctracer.StartSpan(context.Background(), "test.root")
+	errc := make(chan error, 1)
+	go func() {
+		_, err := coord.Submit(ctx, hypermm.Cannon, testCfg, A, B)
+		errc <- err
+	}()
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("job never reached the stuck worker")
+	}
+	workers[0].Abort()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("failover submit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("failover never completed")
+	}
+	root.End()
+
+	td, ok := ctracer.Trace(root.TraceID())
+	if !ok {
+		t.Fatalf("trace %s not recorded", root.TraceID())
+	}
+	attempts := spansNamed(td, "cluster.attempt")
+	if len(attempts) < 2 {
+		t.Fatalf("want >= 2 attempt spans (failed + retried), got %d", len(attempts))
+	}
+	var lost, won *obs.SpanData
+	for i := range attempts {
+		switch attempts[i].Attrs["outcome"] {
+		case "worker_lost":
+			lost = &attempts[i]
+		case "ok":
+			won = &attempts[i]
+		}
+	}
+	if lost == nil || won == nil {
+		t.Fatalf("attempts missing worker_lost or ok outcome: %+v", attempts)
+	}
+	if lost.Attrs["worker"] != "w0" || won.Attrs["worker"] != "w1" {
+		t.Errorf("attempt workers: lost on %v, won on %v; want w0 then w1",
+			lost.Attrs["worker"], won.Attrs["worker"])
+	}
+	if lost.End > won.Start {
+		t.Errorf("failed attempt [%d, %d] overlaps the re-dispatch starting %d",
+			lost.Start, lost.End, won.Start)
+	}
+	execs := spansNamed(td, "worker.execute")
+	if len(execs) != 1 || execs[0].Process != "w1" || execs[0].Parent != won.SpanID {
+		t.Errorf("want exactly one execute span from w1 under the winning attempt, got %+v", execs)
+	}
+}
+
+// TestMalformedTraceContextIgnored pins the wire rule: garbage in the
+// header's trace fields loses observability, never the job.
+func TestMalformedTraceContextIgnored(t *testing.T) {
+	cases := []struct {
+		name, trace, span string
+		want              bool
+	}{
+		{"empty", "", "", false},
+		{"valid", strings.Repeat("ab", 16), strings.Repeat("cd", 8), true},
+		{"uppercase", strings.Repeat("AB", 16), strings.Repeat("cd", 8), false},
+		{"short", "abc", "cdcd", false},
+		{"zero", strings.Repeat("0", 32), strings.Repeat("cd", 8), false},
+		{"oversized", strings.Repeat("a", 1<<20), strings.Repeat("cd", 8), false},
+		{"span only", "", strings.Repeat("cd", 8), false},
+	}
+	for _, tc := range cases {
+		s := &jobSpec{TraceID: tc.trace, SpanID: tc.span}
+		if _, ok := s.spanContext(); ok != tc.want {
+			t.Errorf("%s: spanContext ok=%v, want %v", tc.name, ok, tc.want)
+		}
+	}
+
+	// End to end: a worker receiving bad trace fields still executes.
+	ctracer := obs.NewTracer("coord", 8)
+	coord, _ := tracedCluster(t, Config{}, nil, []*obs.Tracer{ctracer}, LocalExec)
+	A := hypermm.RandomMatrix(8, 8, 1)
+	B := hypermm.RandomMatrix(8, 8, 2)
+	// The coordinator has no tracer, so spec trace fields come verbatim
+	// from the caller's context — including invalid ones.
+	ctx := obs.ContextWith(context.Background(), obs.SpanContext{TraceID: "garbage", SpanID: "zz"})
+	if _, err := coord.Submit(ctx, hypermm.Cannon, testCfg, A, B); err != nil {
+		t.Fatalf("job with malformed trace context failed: %v", err)
+	}
+	if n := ctracer.Len(); n != 0 {
+		t.Errorf("worker recorded %d traces from a malformed context, want 0", n)
+	}
+}
+
+// FuzzTraceContext hammers the trace-context half of the Job header:
+// whatever bytes arrive as trace_id/span_id, parsing must neither
+// panic nor accept an invalid pair.
+func FuzzTraceContext(f *testing.F) {
+	f.Add(`{"trace_id":"`+strings.Repeat("ab", 16)+`","span_id":"`+strings.Repeat("cd", 8)+`"}`, "", "")
+	f.Add(`{"id":1}`, strings.Repeat("0", 32), strings.Repeat("f", 16))
+	f.Add(`{}`, strings.Repeat("a", 100000), "café-multibyte-ид")
+	f.Add(`{"trace_id":7}`, "ABCDEF0123456789abcdef0123456789", "0123456789abcdef")
+	f.Fuzz(func(t *testing.T, hdr, traceID, spanID string) {
+		var spec jobSpec
+		if err := json.Unmarshal([]byte(hdr), &spec); err == nil {
+			if sc, ok := spec.spanContext(); ok && !sc.Valid() {
+				t.Fatalf("header %q parsed to invalid context %+v", hdr, sc)
+			}
+		}
+		spec = jobSpec{TraceID: traceID, SpanID: spanID}
+		sc, ok := spec.spanContext()
+		if ok != (obs.ValidTraceID(traceID) && obs.ValidSpanID(spanID)) {
+			t.Fatalf("spanContext(%q, %q) ok=%v disagrees with validators", traceID, spanID, ok)
+		}
+		if ok && (sc.TraceID != traceID || sc.SpanID != spanID) {
+			t.Fatalf("accepted context mutated the IDs: %+v", sc)
+		}
+	})
+}

@@ -6,11 +6,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
 
 	"hypermm"
+	"hypermm/internal/obs"
 )
 
 // ErrBusy is how a worker's Exec hook reports transient saturation
@@ -43,8 +45,14 @@ type WorkerConfig struct {
 	// MaxFrame bounds one received frame (default DefaultMaxFrame).
 	MaxFrame int
 
-	// Logf, when non-nil, receives connection-lifecycle log lines.
-	Logf func(format string, args ...any)
+	// Log receives connection-lifecycle events as structured records
+	// (nil: silent).
+	Log *slog.Logger
+
+	// Tracer, when non-nil, records one worker.execute span per job that
+	// arrives carrying a valid trace context; the spans travel back to
+	// the coordinator in the Result frame.
+	Tracer *obs.Tracer
 }
 
 // Worker is the worker side of one coordinator connection: it
@@ -73,6 +81,9 @@ func Join(ctx context.Context, addr string, cfg WorkerConfig) (*Worker, error) {
 	}
 	if cfg.MaxFrame <= 0 {
 		cfg.MaxFrame = DefaultMaxFrame
+	}
+	if cfg.Log == nil {
+		cfg.Log = obs.NopLogger()
 	}
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
@@ -110,7 +121,7 @@ func Join(ctx context.Context, addr string, cfg WorkerConfig) (*Worker, error) {
 	}
 	_ = conn.SetDeadline(time.Time{})
 	w.id = wel.WorkerID
-	w.logf("cluster: worker %q registered with %s (id %d)", cfg.Name, addr, w.id)
+	cfg.Log.Info("cluster: worker registered", "worker", cfg.Name, "coordinator", addr, "id", w.id)
 	return w, nil
 }
 
@@ -146,7 +157,7 @@ func (w *Worker) Serve(ctx context.Context) error {
 			// Coordinator drain: finish in-flight jobs, flush their
 			// results, then hang up. New Job frames stop arriving once
 			// the coordinator has said goodbye.
-			w.logf("cluster: worker %q draining on coordinator goodbye", w.cfg.Name)
+			w.cfg.Log.Info("cluster: worker draining", "worker", w.cfg.Name, "reason", "coordinator goodbye")
 			w.mu.Lock()
 			w.draining = true
 			w.mu.Unlock()
@@ -253,12 +264,48 @@ func (w *Worker) handleJob(hdr, tail []byte) {
 			ctx, cancel = context.WithTimeout(ctx, time.Duration(spec.WallMs)*time.Millisecond)
 			defer cancel()
 		}
+		// A valid propagated trace context parents this job's execute
+		// span under the coordinator's dispatch attempt; the span rides
+		// home in the Result frame. A missing or malformed context (or a
+		// worker without a tracer) just runs the job untraced.
+		var espan *obs.Span
+		sc, traced := spec.spanContext()
+		if traced && w.cfg.Tracer != nil {
+			ctx, espan = w.cfg.Tracer.StartSpan(obs.ContextWith(ctx, sc), "worker.execute",
+				obs.String("worker", w.cfg.Name), obs.String("algorithm", spec.Algorithm),
+				obs.Int("n", spec.N), obs.Int("p", spec.P))
+		}
+		// jobSpans closes the execute span and returns this job's spans —
+		// the ones parented under this exact dispatch attempt, so retried
+		// jobs of the same trace on this worker never ship twice.
+		jobSpans := func(outcome string) []obs.SpanData {
+			if espan == nil {
+				return nil
+			}
+			espan.Set(obs.String("outcome", outcome))
+			espan.End()
+			td, ok := w.cfg.Tracer.Trace(sc.TraceID)
+			if !ok {
+				return nil
+			}
+			var out []obs.SpanData
+			for _, s := range td.Spans {
+				if s.Parent == sc.SpanID {
+					out = append(out, s)
+				}
+			}
+			return out
+		}
 		res, err := w.exec(ctx, alg, cfg, A, B)
 		if err != nil {
-			_ = w.send(msgResult, jobReply{ID: spec.ID, Err: err.Error(), ErrKind: errKindOf(err)}, nil)
+			kind := errKindOf(err)
+			_ = w.send(msgResult, jobReply{ID: spec.ID, Err: err.Error(), ErrKind: kind, Spans: jobSpans(kind)}, nil)
 			return
 		}
-		reply := jobReply{ID: spec.ID, Elapsed: res.Elapsed, Comm: res.Comm, Rows: res.C.Rows, Cols: res.C.Cols}
+		reply := jobReply{
+			ID: spec.ID, Elapsed: res.Elapsed, Comm: res.Comm,
+			Rows: res.C.Rows, Cols: res.C.Cols, Spans: jobSpans("ok"),
+		}
 		_ = w.send(msgResult, reply, appendMatrix(make([]byte, 0, len(res.C.Data)*8), res.C))
 	}()
 }
@@ -294,10 +341,4 @@ func (w *Worker) send(mt byte, header any, tail []byte) error {
 	w.wmu.Lock()
 	defer w.wmu.Unlock()
 	return writeFrame(w.conn, mt, header, tail)
-}
-
-func (w *Worker) logf(format string, args ...any) {
-	if w.cfg.Logf != nil {
-		w.cfg.Logf(format, args...)
-	}
 }

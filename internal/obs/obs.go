@@ -1,0 +1,403 @@
+// Package obs is the serving tier's observability layer: request-scoped
+// spans with trace/span IDs and typed attributes, a bounded in-memory
+// ring of recently completed traces, structured logging helpers over
+// log/slog, and a Chrome trace-event export that merges server-side
+// spans with the emulator's simulated timeline on a shared clock.
+//
+// The package is dependency-free (standard library only) and nil-safe:
+// every method on a nil *Tracer or nil *Span is a no-op, so the hot
+// path can stay unconditionally instrumented and pay nothing when
+// tracing is disabled.
+//
+// Clock model: spans record wall-clock unix nanoseconds from time.Now.
+// The coordinator and its workers run on the same host in every
+// supported deployment (separate processes, one machine), so their
+// clocks are literally the same system clock and span intervals from
+// different processes are directly comparable; see DESIGN.md §14 for
+// the cross-host caveat.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+
+	"hypermm/internal/trace"
+)
+
+// ID lengths in hex characters: 16-byte trace IDs and 8-byte span IDs,
+// the W3C trace-context sizes.
+const (
+	TraceIDLen = 32
+	SpanIDLen  = 16
+
+	// maxWireID bounds how much of an untrusted wire ID is even
+	// inspected; anything longer is rejected before validation walks it.
+	maxWireID = 64
+)
+
+// newID returns n/2 random bytes as n lowercase hex characters.
+func newID(n int) string {
+	b := make([]byte, n/2)
+	if _, err := rand.Read(b); err != nil {
+		// crypto/rand never fails on supported platforms; a zero ID is
+		// still a functioning (if colliding) fallback.
+		return string(make([]byte, n))
+	}
+	return hex.EncodeToString(b)
+}
+
+// validHexID reports whether s is exactly n lowercase hex characters
+// and not all zeros (the invalid sentinel, as in W3C trace-context).
+func validHexID(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	zero := true
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+		if c != '0' {
+			zero = false
+		}
+	}
+	return !zero
+}
+
+// ValidTraceID reports whether s is a well-formed trace ID.
+func ValidTraceID(s string) bool { return validHexID(s, TraceIDLen) }
+
+// ValidSpanID reports whether s is a well-formed span ID.
+func ValidSpanID(s string) bool { return validHexID(s, SpanIDLen) }
+
+// SpanContext is the propagated part of a span: enough to parent remote
+// work to it.
+type SpanContext struct {
+	TraceID string
+	SpanID  string
+}
+
+// Valid reports whether both IDs are well-formed.
+func (sc SpanContext) Valid() bool {
+	return ValidTraceID(sc.TraceID) && ValidSpanID(sc.SpanID)
+}
+
+// ParseSpanContext validates an untrusted (traceID, spanID) pair from a
+// wire header. Malformed or oversized IDs yield ok=false — the caller
+// must treat that as "no trace context", never as an error: a bad
+// header loses observability, not the job.
+func ParseSpanContext(traceID, spanID string) (SpanContext, bool) {
+	if len(traceID) > maxWireID || len(spanID) > maxWireID {
+		return SpanContext{}, false
+	}
+	sc := SpanContext{TraceID: traceID, SpanID: spanID}
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying sc as the current span context.
+func ContextWith(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext extracts the current span context, if any.
+func FromContext(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(ctxKey{}).(SpanContext)
+	return sc, ok
+}
+
+// Attr is one typed span attribute. Values are restricted to the JSON
+// scalar types by the constructors below.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// String returns a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int returns an integer attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: int64(v)} }
+
+// Int64 returns a 64-bit integer attribute.
+func Int64(k string, v int64) Attr { return Attr{Key: k, Value: v} }
+
+// Float64 returns a float attribute.
+func Float64(k string, v float64) Attr { return Attr{Key: k, Value: v} }
+
+// Bool returns a boolean attribute.
+func Bool(k string, v bool) Attr { return Attr{Key: k, Value: v} }
+
+// SpanData is one completed span as stored in the ring and shipped over
+// the cluster wire inside a Result frame.
+type SpanData struct {
+	TraceID string         `json:"trace_id"`
+	SpanID  string         `json:"span_id"`
+	Parent  string         `json:"parent_id,omitempty"`
+	Name    string         `json:"name"`
+	Process string         `json:"process,omitempty"`
+	Start   int64          `json:"start_unix_nano"`
+	End     int64          `json:"end_unix_nano"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// Span is one in-progress timed operation. Spans are not safe for
+// concurrent mutation: the goroutine that starts a span sets its
+// attributes and ends it.
+type Span struct {
+	tracer *Tracer
+	data   SpanData
+	ended  bool
+}
+
+// TraceID returns the span's trace ID ("" on a nil span).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.data.TraceID
+}
+
+// SpanID returns the span's own ID ("" on a nil span).
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.data.SpanID
+}
+
+// Context returns the span's propagation context (zero on nil).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.data.TraceID, SpanID: s.data.SpanID}
+}
+
+// Set attaches attributes to the span.
+func (s *Span) Set(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	if s.data.Attrs == nil {
+		s.data.Attrs = make(map[string]any, len(attrs))
+	}
+	for _, a := range attrs {
+		s.data.Attrs[a.Key] = a.Value
+	}
+}
+
+// End stamps the span's end time and exports it to the tracer's ring.
+// Ending twice exports once.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.data.End = time.Now().UnixNano()
+	s.tracer.record(s.data)
+}
+
+// SimTimeline anchors one simulated run's event log to the wall-clock
+// interval in which it actually executed, so the merged Chrome export
+// can place simulated spans under the real ones: simulated time
+// [0, Elapsed] maps linearly onto wall nanos [Start, End].
+type SimTimeline struct {
+	Events  []trace.Event // per-node simulated events, simulated time units
+	Elapsed float64       // simulated length of the run
+	P       int           // machine size, for labeling
+	Start   int64         // wall unix nanos when the run began
+	End     int64         // wall unix nanos when the run finished
+}
+
+// TraceData is everything the ring holds for one trace ID. The sim
+// timeline is export-only (it feeds ChromeJSON); its element type is
+// internal to the module, so it stays out of the raw JSON form.
+type TraceData struct {
+	TraceID string       `json:"trace_id"`
+	Spans   []SpanData   `json:"spans"`
+	Sim     *SimTimeline `json:"-"`
+}
+
+// Tracer hands out spans and keeps the most recent completed traces in
+// a bounded ring: when a new trace ID would exceed the capacity, the
+// oldest trace is evicted whole. Safe for concurrent use. A nil Tracer
+// disables tracing: StartSpan returns a nil span and every other method
+// is a no-op.
+type Tracer struct {
+	process string
+
+	mu     sync.Mutex
+	traces map[string]*TraceData
+	order  []string // trace IDs, oldest first
+	cap    int
+}
+
+// maxSpansPerTrace bounds one trace's span list so a pathological
+// request (endless failover loop, malicious Ingest) cannot grow a ring
+// entry without bound; spans beyond it are dropped.
+const maxSpansPerTrace = 512
+
+// NewTracer returns a tracer stamping spans with the given process
+// label and retaining the last capacity traces (minimum 1).
+func NewTracer(process string, capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{
+		process: process,
+		traces:  make(map[string]*TraceData),
+		cap:     capacity,
+	}
+}
+
+// StartSpan begins a span named name. If ctx carries a span context the
+// new span joins that trace as a child; otherwise it becomes the root
+// of a fresh trace. The returned context carries the new span, so
+// nested StartSpan calls build the tree.
+func (t *Tracer) StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	s := &Span{
+		tracer: t,
+		data: SpanData{
+			SpanID:  newID(SpanIDLen),
+			Name:    name,
+			Process: t.process,
+			Start:   time.Now().UnixNano(),
+		},
+	}
+	if parent, ok := FromContext(ctx); ok && parent.Valid() {
+		s.data.TraceID = parent.TraceID
+		s.data.Parent = parent.SpanID
+	} else {
+		s.data.TraceID = newID(TraceIDLen)
+	}
+	s.Set(attrs...)
+	return ContextWith(ctx, s.Context()), s
+}
+
+// record stores one completed span, evicting the oldest trace when the
+// ring is full.
+func (t *Tracer) record(sd SpanData) {
+	if t == nil || !ValidTraceID(sd.TraceID) {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.recordLocked(sd)
+}
+
+func (t *Tracer) recordLocked(sd SpanData) {
+	td, ok := t.traces[sd.TraceID]
+	if !ok {
+		td = &TraceData{TraceID: sd.TraceID}
+		t.traces[sd.TraceID] = td
+		t.order = append(t.order, sd.TraceID)
+		for len(t.order) > t.cap {
+			delete(t.traces, t.order[0])
+			t.order = t.order[1:]
+		}
+	}
+	if len(td.Spans) < maxSpansPerTrace {
+		td.Spans = append(td.Spans, sd)
+	}
+}
+
+// Ingest merges externally produced spans — a worker's half of a
+// cross-process trace, arriving in a Result frame — into the ring.
+// Spans with malformed IDs are dropped; Ingest never fails.
+func (t *Tracer) Ingest(spans []SpanData) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, sd := range spans {
+		if !ValidTraceID(sd.TraceID) || !ValidSpanID(sd.SpanID) {
+			continue
+		}
+		t.recordLocked(sd)
+	}
+}
+
+// AttachSim anchors a simulated timeline to traceID for the merged
+// Chrome export. The trace entry is created if the run's spans have not
+// landed yet.
+func (t *Tracer) AttachSim(traceID string, sim SimTimeline) {
+	if t == nil || !ValidTraceID(traceID) {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	td, ok := t.traces[traceID]
+	if !ok {
+		td = &TraceData{TraceID: traceID}
+		t.traces[traceID] = td
+		t.order = append(t.order, traceID)
+		for len(t.order) > t.cap {
+			delete(t.traces, t.order[0])
+			t.order = t.order[1:]
+		}
+	}
+	td.Sim = &sim
+}
+
+// Trace returns a snapshot of one trace, spans sorted by start time
+// (ties by end, then span ID, so the order is deterministic).
+func (t *Tracer) Trace(id string) (TraceData, bool) {
+	if t == nil {
+		return TraceData{}, false
+	}
+	t.mu.Lock()
+	td, ok := t.traces[id]
+	if !ok {
+		t.mu.Unlock()
+		return TraceData{}, false
+	}
+	out := TraceData{TraceID: td.TraceID, Sim: td.Sim}
+	out.Spans = make([]SpanData, len(td.Spans))
+	copy(out.Spans, td.Spans)
+	t.mu.Unlock()
+	sortSpans(out.Spans)
+	return out, true
+}
+
+// Len reports how many traces the ring currently holds.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.traces)
+}
+
+func sortSpans(spans []SpanData) {
+	// Insertion sort: span lists are short (bounded by
+	// maxSpansPerTrace, typically < 10) and mostly ordered already.
+	for i := 1; i < len(spans); i++ {
+		for j := i; j > 0 && spanLess(spans[j], spans[j-1]); j-- {
+			spans[j], spans[j-1] = spans[j-1], spans[j]
+		}
+	}
+}
+
+func spanLess(a, b SpanData) bool {
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	if a.End != b.End {
+		return a.End < b.End
+	}
+	return a.SpanID < b.SpanID
+}

@@ -1,0 +1,322 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"hypermm/internal/trace"
+)
+
+func TestSpanLifecycleAndNesting(t *testing.T) {
+	tr := NewTracer("test", 8)
+	ctx, root := tr.StartSpan(context.Background(), "handler", String("algorithm", "cannon"), Int("n", 64))
+	if !ValidTraceID(root.TraceID()) || !ValidSpanID(root.SpanID()) {
+		t.Fatalf("malformed ids: trace %q span %q", root.TraceID(), root.SpanID())
+	}
+	_, child := tr.StartSpan(ctx, "plan")
+	if child.TraceID() != root.TraceID() {
+		t.Errorf("child trace %q != root %q", child.TraceID(), root.TraceID())
+	}
+	child.End()
+	root.Set(Bool("ok", true))
+	root.End()
+
+	td, ok := tr.Trace(root.TraceID())
+	if !ok {
+		t.Fatal("trace not retained")
+	}
+	if len(td.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(td.Spans))
+	}
+	// Sorted by start: root first, child parented to it.
+	if td.Spans[0].Name != "handler" || td.Spans[1].Name != "plan" {
+		t.Errorf("span order: %s, %s", td.Spans[0].Name, td.Spans[1].Name)
+	}
+	if td.Spans[1].Parent != root.SpanID() {
+		t.Errorf("child parent %q, want %q", td.Spans[1].Parent, root.SpanID())
+	}
+	if got := td.Spans[0].Attrs["algorithm"]; got != "cannon" {
+		t.Errorf("attr algorithm = %v", got)
+	}
+	if got := td.Spans[0].Attrs["n"]; got != int64(64) {
+		t.Errorf("attr n = %v (%T)", got, got)
+	}
+	for _, sd := range td.Spans {
+		if sd.End < sd.Start {
+			t.Errorf("span %s ends before it starts", sd.Name)
+		}
+		if sd.Process != "test" {
+			t.Errorf("span %s process %q", sd.Name, sd.Process)
+		}
+	}
+}
+
+func TestDoubleEndExportsOnce(t *testing.T) {
+	tr := NewTracer("test", 8)
+	_, s := tr.StartSpan(context.Background(), "once")
+	s.End()
+	s.End()
+	td, _ := tr.Trace(s.TraceID())
+	if len(td.Spans) != 1 {
+		t.Fatalf("double End exported %d spans", len(td.Spans))
+	}
+}
+
+func TestRingEvictsOldestTrace(t *testing.T) {
+	tr := NewTracer("test", 3)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		_, s := tr.StartSpan(context.Background(), "job")
+		s.End()
+		ids = append(ids, s.TraceID())
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("ring holds %d traces, want 3", tr.Len())
+	}
+	for _, id := range ids[:2] {
+		if _, ok := tr.Trace(id); ok {
+			t.Errorf("trace %s should have been evicted", id)
+		}
+	}
+	for _, id := range ids[2:] {
+		if _, ok := tr.Trace(id); !ok {
+			t.Errorf("trace %s evicted too early", id)
+		}
+	}
+}
+
+func TestSpanCapPerTrace(t *testing.T) {
+	tr := NewTracer("test", 2)
+	ctx, root := tr.StartSpan(context.Background(), "root")
+	for i := 0; i < maxSpansPerTrace+50; i++ {
+		_, s := tr.StartSpan(ctx, "child")
+		s.End()
+	}
+	root.End()
+	td, _ := tr.Trace(root.TraceID())
+	if len(td.Spans) != maxSpansPerTrace {
+		t.Fatalf("trace holds %d spans, want cap %d", len(td.Spans), maxSpansPerTrace)
+	}
+}
+
+func TestIngestDropsMalformedSpans(t *testing.T) {
+	tr := NewTracer("coord", 4)
+	good := SpanData{
+		TraceID: newID(TraceIDLen), SpanID: newID(SpanIDLen),
+		Name: "worker.execute", Process: "w1",
+		Start: time.Now().UnixNano(), End: time.Now().UnixNano(),
+	}
+	tr.Ingest([]SpanData{
+		good,
+		{TraceID: "nope", SpanID: good.SpanID, Name: "bad-trace"},
+		{TraceID: good.TraceID, SpanID: "XYZ", Name: "bad-span"},
+		{TraceID: strings.Repeat("a", 4096), SpanID: good.SpanID, Name: "oversized"},
+	})
+	td, ok := tr.Trace(good.TraceID)
+	if !ok || len(td.Spans) != 1 || td.Spans[0].Name != "worker.execute" {
+		t.Fatalf("ingest kept wrong spans: %+v (ok=%v)", td.Spans, ok)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("malformed spans created ring entries: %d", tr.Len())
+	}
+}
+
+func TestParseSpanContext(t *testing.T) {
+	tid, sid := newID(TraceIDLen), newID(SpanIDLen)
+	if sc, ok := ParseSpanContext(tid, sid); !ok || sc.TraceID != tid || sc.SpanID != sid {
+		t.Fatalf("valid pair rejected: %v %v", sc, ok)
+	}
+	bad := []struct{ tid, sid string }{
+		{"", ""},
+		{tid, ""},
+		{"", sid},
+		{strings.ToUpper(tid), sid},               // uppercase hex is not ours
+		{tid + "00", sid},                         // wrong length
+		{tid, sid[:8]},                            // short span
+		{strings.Repeat("0", TraceIDLen), sid},    // all-zero sentinel
+		{tid, strings.Repeat("0", SpanIDLen)},     // all-zero sentinel
+		{strings.Repeat("a", 100000), sid},        // oversized
+		{tid[:TraceIDLen-1] + "g", sid},           // non-hex
+		{"café0123456789abcdef0123456789ab", sid}, // multibyte
+	}
+	for _, c := range bad {
+		if _, ok := ParseSpanContext(c.tid, c.sid); ok {
+			t.Errorf("accepted malformed pair (%q, %q)", c.tid, c.sid)
+		}
+	}
+}
+
+func TestNilTracerAndSpanAreNoops(t *testing.T) {
+	var tr *Tracer
+	ctx, s := tr.StartSpan(context.Background(), "nothing", String("k", "v"))
+	if s != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	if _, ok := FromContext(ctx); ok {
+		t.Fatal("nil tracer polluted the context")
+	}
+	s.Set(Int("n", 1)) // must not panic
+	s.End()
+	if s.TraceID() != "" || s.SpanID() != "" {
+		t.Error("nil span has ids")
+	}
+	tr.Ingest([]SpanData{{TraceID: "x"}})
+	tr.AttachSim("x", SimTimeline{})
+	if _, ok := tr.Trace("x"); ok {
+		t.Error("nil tracer returned a trace")
+	}
+	if tr.Len() != 0 {
+		t.Error("nil tracer has length")
+	}
+}
+
+func TestChromeJSONMergesSimTimeline(t *testing.T) {
+	tr := NewTracer("hmmd", 4)
+	ctx, root := tr.StartSpan(context.Background(), "http.matmul")
+	_, run := tr.StartSpan(ctx, "sched.run")
+	start := time.Now()
+	time.Sleep(2 * time.Millisecond) // give the sim interval real width
+	run.End()
+	root.End()
+	tr.AttachSim(root.TraceID(), SimTimeline{
+		Events: []trace.Event{
+			{Node: 0, Kind: trace.Compute, Start: 0, End: 50},
+			{Node: 1, Kind: trace.Send, Start: 50, End: 150, Peer: 0, Words: 8},
+		},
+		Elapsed: 150, P: 4,
+		Start: start.UnixNano(), End: start.Add(2 * time.Millisecond).UnixNano(),
+	})
+
+	td, ok := tr.Trace(root.TraceID())
+	if !ok || td.Sim == nil {
+		t.Fatal("trace or sim timeline missing")
+	}
+	var buf bytes.Buffer
+	if err := td.ChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var spans, sims, meta int
+	simPid := -1
+	for _, e := range f.TraceEvents {
+		switch {
+		case e.Ph == "M":
+			meta++
+			if name, _ := e.Args["name"].(string); strings.HasPrefix(name, "simulated hypercube") {
+				simPid = e.Pid
+			}
+		case e.Cat == "span":
+			spans++
+			if e.Ts < 0 || e.Dur < 0 {
+				t.Errorf("span %s has negative ts/dur: %v/%v", e.Name, e.Ts, e.Dur)
+			}
+		case e.Cat == "sim":
+			sims++
+		}
+	}
+	if spans != 2 || sims != 2 || meta != 2 {
+		t.Fatalf("event mix spans=%d sims=%d meta=%d, want 2/2/2\n%s", spans, sims, meta, buf.String())
+	}
+	// The simulated events must land inside the wall window of the run
+	// on the shared clock: compute [0,50] of 150 over 2ms starts at the
+	// sim anchor and spans 2/3ms or less.
+	for _, e := range f.TraceEvents {
+		if e.Cat != "sim" {
+			continue
+		}
+		if e.Pid != simPid {
+			t.Errorf("sim event on pid %d, want %d", e.Pid, simPid)
+		}
+		if e.Ts < 0 || e.Ts+e.Dur > 2500 { // 2ms window + slack, in us
+			t.Errorf("sim event %q escapes the run window: ts=%v dur=%v", e.Name, e.Ts, e.Dur)
+		}
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q", f.DisplayTimeUnit)
+	}
+}
+
+func TestChromeJSONDeterministic(t *testing.T) {
+	tr := NewTracer("hmmd", 4)
+	ctx, root := tr.StartSpan(context.Background(), "root")
+	for i := 0; i < 4; i++ {
+		_, s := tr.StartSpan(ctx, fmt.Sprintf("child-%d", i))
+		s.End()
+	}
+	root.End()
+	td, _ := tr.Trace(root.TraceID())
+	var a, b bytes.Buffer
+	if err := td.ChromeJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := td.ChromeJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("ChromeJSON is not deterministic for the same trace")
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("hidden")
+	lg.Info("job done", "trace_id", "abc", "algorithm", "cannon", "n", 64)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not one JSON record: %v (%q)", err, buf.String())
+	}
+	if rec["msg"] != "job done" || rec["trace_id"] != "abc" || rec["algorithm"] != "cannon" {
+		t.Errorf("fields lost: %v", rec)
+	}
+
+	buf.Reset()
+	lg, err = NewLogger(&buf, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hidden")
+	lg.Warn("kept", "worker", "w1")
+	if s := buf.String(); !strings.Contains(s, "kept") || strings.Contains(s, "hidden") {
+		t.Errorf("level filtering broken: %q", s)
+	}
+
+	if _, err := NewLogger(&buf, "loud", "json"); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := NewLogger(&buf, "info", "xml"); err == nil {
+		t.Error("bad format accepted")
+	}
+}
+
+func TestNopLoggerDiscards(t *testing.T) {
+	lg := NopLogger()
+	if lg.Enabled(context.Background(), slog.LevelError) {
+		t.Error("nop logger claims to log errors")
+	}
+	lg.Error("into the void") // must not panic
+}

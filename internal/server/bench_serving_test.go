@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"hypermm"
+	"hypermm/internal/obs"
 )
 
 // BenchmarkServe_* measures steady-state serving throughput over the
@@ -63,8 +64,10 @@ func BenchmarkServe_ColdMachines_P64(b *testing.B) { benchServe(b, -1) }
 
 // benchSched measures the same steady state below the HTTP layer:
 // planner + scheduler + simulated run, so the pool's setup amortization
-// is not diluted by TCP round-trips.
-func benchSched(b *testing.B, poolSize int) {
+// is not diluted by TCP round-trips. A non-nil tracer adds the
+// sched.queue and sched.run spans plus ring recording to every job —
+// the Traced/Untraced pair pins that overhead under 5%.
+func benchSched(b *testing.B, poolSize int, tracer *obs.Tracer) {
 	m := NewMetrics()
 	var pool *hypermm.MachinePool
 	if poolSize > 0 {
@@ -72,6 +75,7 @@ func benchSched(b *testing.B, poolSize int) {
 		defer pool.Close()
 	}
 	s := NewScheduler(1, 4, pool, m)
+	s.tracer = tracer
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
@@ -105,5 +109,13 @@ func benchSched(b *testing.B, poolSize int) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
 }
 
-func BenchmarkServe_SchedWarmPool_P64(b *testing.B)     { benchSched(b, 2) }
-func BenchmarkServe_SchedColdMachines_P64(b *testing.B) { benchSched(b, 0) }
+func BenchmarkServe_SchedWarmPool_P64(b *testing.B)     { benchSched(b, 2, nil) }
+func BenchmarkServe_SchedColdMachines_P64(b *testing.B) { benchSched(b, 0, nil) }
+
+// The observability overhead pair: identical warm-pool scheduling, with
+// and without span recording. Every traced job opens two spans whose
+// trace rotates through a 256-trace ring, the worst realistic case.
+func BenchmarkServe_SchedTraced_P64(b *testing.B) {
+	benchSched(b, 2, obs.NewTracer("bench", 256))
+}
+func BenchmarkServe_SchedUntraced_P64(b *testing.B) { benchSched(b, 2, nil) }

@@ -5,12 +5,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"strings"
+	"time"
 
 	"hypermm"
 	"hypermm/internal/calibrate"
 	"hypermm/internal/cluster"
+	"hypermm/internal/obs"
 )
 
 // Config sizes the serving subsystem.
@@ -36,6 +41,25 @@ type Config struct {
 	// non-trace jobs are routed to registered cluster workers instead of
 	// executing in-process, and /metrics gains the cluster family.
 	Cluster *cluster.Coordinator
+
+	// TraceRing bounds the in-memory ring of recently completed request
+	// traces behind GET /v1/trace/{id} (default 256; negative disables
+	// request tracing entirely).
+	TraceRing int
+
+	// Tracer, when non-nil, overrides the ring built from TraceRing.
+	// The daemon uses this to share one tracer between the HTTP tier and
+	// the cluster tier, so coordinator-side dispatch spans and ingested
+	// worker spans land in the same ring as the handler's root span.
+	Tracer *obs.Tracer
+
+	// Log receives per-job and lifecycle events as structured records
+	// (nil: silent).
+	Log *slog.Logger
+
+	// Pprof mounts net/http/pprof's profiling handlers under
+	// /debug/pprof/ (opt-in: profiles expose process internals).
+	Pprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -57,6 +81,12 @@ func (c Config) withDefaults() Config {
 	if c.PoolSize == 0 {
 		c.PoolSize = 2 * c.Workers
 	}
+	if c.TraceRing == 0 {
+		c.TraceRing = 256
+	}
+	if c.Log == nil {
+		c.Log = obs.NopLogger()
+	}
 	return c
 }
 
@@ -69,6 +99,7 @@ type Server struct {
 	metrics *Metrics
 	pool    *hypermm.MachinePool // nil when pooling is disabled
 	cluster *cluster.Coordinator // nil when serving standalone
+	tracer  *obs.Tracer          // nil when request tracing is disabled
 }
 
 // New builds a ready-to-serve Server. A Config.Calibration profile
@@ -90,9 +121,17 @@ func New(cfg Config) (*Server, error) {
 	var pool *hypermm.MachinePool
 	if cfg.PoolSize > 0 {
 		pool = hypermm.NewMachinePool(cfg.PoolSize)
+		pool.SetObserver(func(hit bool, wait time.Duration) {
+			m.StageObserve("pool_checkout", wait)
+		})
+	}
+	tracer := cfg.Tracer
+	if tracer == nil && cfg.TraceRing > 0 {
+		tracer = obs.NewTracer("hmmd", cfg.TraceRing)
 	}
 	sched := NewScheduler(cfg.Workers, cfg.QueueDepth, pool, m)
 	sched.cluster = cfg.Cluster
+	sched.tracer = tracer
 	return &Server{
 		cfg:     cfg,
 		planner: planner,
@@ -100,6 +139,7 @@ func New(cfg Config) (*Server, error) {
 		metrics: m,
 		pool:    pool,
 		cluster: cfg.Cluster,
+		tracer:  tracer,
 	}, nil
 }
 
@@ -125,6 +165,11 @@ func (s *Server) Execute(ctx context.Context, alg hypermm.Algorithm, cfg hypermm
 
 // Metrics exposes the registry (for tests and the daemon).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Tracer exposes the request-trace ring (nil when tracing is disabled);
+// the daemon hands it to the cluster tier so one ring holds both halves
+// of a cross-process trace.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Planner exposes the planner (for tests and the daemon).
 func (s *Server) Planner() *Planner { return s.planner }
@@ -157,8 +202,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/plan", s.handlePlan)
 	mux.HandleFunc("/v1/regionmap", s.handleRegionMap)
 	mux.HandleFunc("/v1/calibration", s.handleCalibration)
+	mux.HandleFunc("/v1/trace/", s.handleTrace)
+	mux.HandleFunc("/v1/version", s.handleVersion)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	if s.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -292,6 +346,22 @@ func (s *Server) handleMatmul(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
 		return
 	}
+	// Root span for the whole request; every downstream stage (plan,
+	// queue, run or dispatch, worker execution) parents under it via the
+	// request context. The trace ID goes out as a response header first
+	// thing so even failed requests are correlatable.
+	hstart := time.Now()
+	ctx, span := s.tracer.StartSpan(r.Context(), "http.matmul")
+	if id := span.TraceID(); id != "" {
+		w.Header().Set("X-Trace-Id", id)
+	}
+	outcome := "bad_request"
+	defer func() {
+		span.Set(obs.String("outcome", outcome))
+		span.End()
+		s.metrics.StageObserve("handler", time.Since(hstart))
+	}()
+
 	var req MatmulRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
@@ -322,11 +392,19 @@ func (s *Server) handleMatmul(w http.ResponseWriter, r *http.Request) {
 		}
 		preq.Alg = &alg
 	}
+	pstart := time.Now()
+	_, pspan := s.tracer.StartSpan(ctx, "plan")
 	plan, err := s.planner.Plan(preq)
+	pspan.Set(obs.Bool("ok", err == nil))
+	pspan.End()
+	s.metrics.StageObserve("plan", time.Since(pstart))
 	if err != nil {
+		outcome = "plan_error"
 		writeErr(w, errStatus(err), err)
 		return
 	}
+	span.Set(obs.String("algorithm", plan.AlgorithmName),
+		obs.Int("n", req.N), obs.Int("p", req.P), obs.Bool("auto", plan.Auto))
 
 	// Request-scoped arena: seeded operands are built on pooled slabs
 	// and returned when the request is done, so steady-state serving
@@ -354,7 +432,7 @@ func (s *Server) handleMatmul(w http.ResponseWriter, r *http.Request) {
 		},
 		A: A, B: B, Trace: req.Trace, Verify: req.Verify,
 	}
-	jr, err := s.sched.Submit(r.Context(), job)
+	jr, err := s.sched.Submit(ctx, job)
 	if err != nil {
 		if jr == nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 			// The client gave up but the admitted job still runs to
@@ -362,9 +440,18 @@ func (s *Server) handleMatmul(w http.ResponseWriter, r *http.Request) {
 			// the garbage collector rather than recycle them under it.
 			releaseArena = false
 		}
+		outcome = errKind(err)
+		s.cfg.Log.Warn("matmul failed",
+			"trace_id", span.TraceID(), "algorithm", plan.AlgorithmName,
+			"n", req.N, "p", req.P, "outcome", outcome, "error", err.Error())
 		writeErr(w, errStatus(err), err)
 		return
 	}
+	outcome = "ok"
+	s.cfg.Log.Info("matmul served",
+		"trace_id", span.TraceID(), "algorithm", plan.AlgorithmName,
+		"n", req.N, "p", req.P, "outcome", outcome,
+		"wall_ms", float64(jr.Wall.Microseconds())/1000, "ratio", jr.Ratio)
 	if jr.Res != nil {
 		// The product's backing slab feeds the next request's operands.
 		defer arena.Adopt(jr.Res.C)
@@ -509,6 +596,48 @@ func (s *Server) handleCalibration(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.cfg.Calibration)
+}
+
+// handleTrace serves one recorded request trace. The default form is
+// the Chrome trace-event JSON (load it in Perfetto or chrome://tracing)
+// with server spans and, for traced runs, the simulated per-node
+// timeline merged on the request's wall-clock interval; ?format=spans
+// returns the raw span records for programmatic assertions.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/trace/")
+	if s.tracer == nil {
+		writeErr(w, http.StatusNotFound, errors.New("request tracing disabled (TraceRing < 0)"))
+		return
+	}
+	td, ok := s.tracer.Trace(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown trace %q (the ring holds the most recent traces only)", id))
+		return
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		_ = td.ChromeJSON(w)
+	case "spans":
+		writeJSON(w, http.StatusOK, td)
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (want chrome or spans)", r.URL.Query().Get("format")))
+	}
+}
+
+// handleVersion serves the build's identity from the binary itself.
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	writeJSON(w, http.StatusOK, ReadVersion())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

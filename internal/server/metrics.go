@@ -24,9 +24,15 @@ type Metrics struct {
 	jobsByAlg   map[string]int64
 	rejects     int64
 	errsByKind  map[string]int64
-	latency     *Histogram // wall-clock seconds per job
-	ratio       *Histogram // simulated elapsed / predicted time
+	latency     *Histogram            // wall-clock seconds per job
+	ratio       *Histogram            // simulated elapsed / predicted time
+	stages      map[string]*Histogram // per-stage wall seconds (hmmd_stage_seconds)
 }
+
+// stageBuckets suit the per-stage breakdown: plan-cache lookups run in
+// microseconds, pool checkouts and queue waits in micro-to-milliseconds,
+// simulated runs and cluster dispatches up to seconds.
+var stageBuckets = []float64{1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, .01, .05, .1, .5, 1, 5}
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
@@ -37,8 +43,35 @@ func NewMetrics() *Metrics {
 		// multi-second big ones.
 		latency: NewHistogram([]float64{.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}),
 		// Simulated-vs-predicted time: centered on 1.0 (model exact).
-		ratio: NewHistogram([]float64{.5, .75, .9, .95, 1, 1.05, 1.1, 1.25, 1.5, 2, 4}),
+		ratio:  NewHistogram([]float64{.5, .75, .9, .95, 1, 1.05, 1.1, 1.25, 1.5, 2, 4}),
+		stages: map[string]*Histogram{},
 	}
+}
+
+// StageObserve records one request's time in a named pipeline stage
+// ("handler", "plan", "admission", "queue", "pool_checkout", "run",
+// "dispatch", ...) for the hmmd_stage_seconds histogram family — the
+// per-stage decomposition of job latency.
+func (m *Metrics) StageObserve(stage string, d time.Duration) {
+	m.mu.Lock()
+	h, ok := m.stages[stage]
+	if !ok {
+		h = NewHistogram(stageBuckets)
+		m.stages[stage] = h
+	}
+	h.Observe(d.Seconds())
+	m.mu.Unlock()
+}
+
+// StageCount reads the sample count of one stage histogram (0 when the
+// stage has never been observed).
+func (m *Metrics) StageCount(stage string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h, ok := m.stages[stage]; ok {
+		return h.Count()
+	}
+	return 0
 }
 
 // QueueAdd shifts the queue-depth gauge by d.
@@ -166,6 +199,18 @@ func (m *Metrics) Render(cacheHits, cacheMisses, cacheEntries int64, pool hyperm
 		}
 	}
 
+	if len(m.stages) > 0 {
+		sb.WriteString("# HELP hmmd_stage_seconds Per-stage wall-clock latency decomposition of the serving path.\n# TYPE hmmd_stage_seconds histogram\n")
+		stageNames := make([]string, 0, len(m.stages))
+		for name := range m.stages {
+			stageNames = append(stageNames, name)
+		}
+		sort.Strings(stageNames)
+		for _, stage := range stageNames {
+			m.stages[stage].renderLabeled(&sb, "hmmd_stage_seconds", "stage", stage)
+		}
+	}
+
 	m.latency.render(&sb, "hmmd_job_latency_seconds", "Job wall-clock latency in seconds.")
 	fmt.Fprintf(&sb, "# HELP hmmd_job_latency_quantile_seconds Approximate latency quantiles from the histogram.\n# TYPE hmmd_job_latency_quantile_seconds gauge\n")
 	for _, q := range []float64{0.5, 0.99} {
@@ -259,4 +304,18 @@ func (h *Histogram) render(sb *strings.Builder, name, help string) {
 	fmt.Fprintf(sb, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
 	fmt.Fprintf(sb, "%s_sum %s\n", name, formatFloat(h.sum))
 	fmt.Fprintf(sb, "%s_count %d\n", name, h.count)
+}
+
+// renderLabeled is render for one series of a labeled histogram family;
+// HELP/TYPE headers are the caller's job (emitted once per family).
+func (h *Histogram) renderLabeled(sb *strings.Builder, name, labelKey, labelVal string) {
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(sb, "%s_bucket{%s=%q,le=%q} %d\n", name, labelKey, labelVal, formatFloat(bound), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(sb, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, labelKey, labelVal, cum)
+	fmt.Fprintf(sb, "%s_sum{%s=%q} %s\n", name, labelKey, labelVal, formatFloat(h.sum))
+	fmt.Fprintf(sb, "%s_count{%s=%q} %d\n", name, labelKey, labelVal, h.count)
 }

@@ -8,6 +8,7 @@ import (
 
 	"hypermm"
 	"hypermm/internal/cluster"
+	"hypermm/internal/obs"
 )
 
 // Typed scheduler errors, mapped to HTTP statuses by the handlers.
@@ -41,9 +42,11 @@ type JobResult struct {
 }
 
 type task struct {
-	ctx  context.Context
-	job  Job
-	done chan *JobResult // buffered(1); worker posts exactly once
+	ctx      context.Context
+	job      Job
+	done     chan *JobResult // buffered(1); worker posts exactly once
+	enqueued time.Time       // when the task entered the queue
+	qspan    *obs.Span       // queue-wait span; ended when a worker picks it up
 }
 
 // Scheduler is a bounded worker pool with admission control: at most
@@ -62,6 +65,11 @@ type Scheduler struct {
 	// bound how many cluster submissions are in flight. Trace jobs run
 	// locally — per-node timelines don't travel the wire.
 	cluster *cluster.Coordinator
+
+	// tracer, when non-nil, wraps every pipeline stage — queue wait,
+	// local run, cluster dispatch — in a span joined to the submitting
+	// request's trace.
+	tracer *obs.Tracer
 
 	// onExec, when non-nil, runs at the start of every job execution.
 	// Tests use it to hold a worker in place and make saturation and
@@ -109,7 +117,13 @@ func NewScheduler(workers, queueDepth int, pool *hypermm.MachinePool, m *Metrics
 // Drain has begun, and ctx.Err() if the caller gives up first (the job
 // itself still runs to completion and is recorded in the metrics).
 func (s *Scheduler) Submit(ctx context.Context, job Job) (*JobResult, error) {
-	t := &task{ctx: ctx, job: job, done: make(chan *JobResult, 1)}
+	admit := time.Now()
+	t := &task{ctx: ctx, job: job, done: make(chan *JobResult, 1), enqueued: admit}
+	// The queue span starts before the enqueue attempt: once the task is
+	// in the channel a worker may read it concurrently, so every field is
+	// final by then. A rejected task's span is simply never ended (and so
+	// never recorded).
+	t.ctx, t.qspan = s.tracer.StartSpan(ctx, "sched.queue")
 
 	s.mu.Lock()
 	if s.draining {
@@ -125,6 +139,7 @@ func (s *Scheduler) Submit(ctx context.Context, job Job) (*JobResult, error) {
 		s.metrics.Reject()
 		return nil, ErrSaturated
 	}
+	s.metrics.StageObserve("admission", time.Since(admit))
 
 	select {
 	case r := <-t.done:
@@ -163,6 +178,8 @@ func (s *Scheduler) Draining() bool {
 
 // execute runs one task and posts its result.
 func (s *Scheduler) execute(t *task) {
+	t.qspan.End()
+	s.metrics.StageObserve("queue", time.Since(t.enqueued))
 	if err := t.ctx.Err(); err != nil {
 		t.done <- &JobResult{Err: err}
 		return
@@ -173,15 +190,25 @@ func (s *Scheduler) execute(t *task) {
 	s.metrics.InflightAdd(1)
 	defer s.metrics.InflightAdd(-1)
 
-	start := time.Now()
 	var (
 		res *hypermm.Result
 		tr  *hypermm.Trace
 		err error
 	)
+	remote := s.cluster != nil && !t.job.Trace
+	spanName, stage := "sched.run", "run"
+	if remote {
+		spanName, stage = "cluster.dispatch", "dispatch"
+	}
+	rctx, rspan := s.tracer.StartSpan(t.ctx, spanName,
+		obs.String("algorithm", t.job.Plan.AlgorithmName),
+		obs.Int("n", t.job.A.Rows), obs.Int("p", t.job.Cfg.P))
+	// Taken after the span opens so the sim timeline, anchored to
+	// [start, start+wall], always nests inside the rendered run span.
+	start := time.Now()
 	switch {
-	case s.cluster != nil && !t.job.Trace:
-		res, err = s.cluster.Submit(t.ctx, t.job.Plan.Algorithm, t.job.Cfg, t.job.A, t.job.B)
+	case remote:
+		res, err = s.cluster.Submit(rctx, t.job.Plan.Algorithm, t.job.Cfg, t.job.A, t.job.B)
 	case t.job.Trace && s.pool != nil:
 		res, tr, err = s.pool.RunOnTraced(t.job.Plan.Algorithm, t.job.Cfg, t.job.A, t.job.B)
 	case t.job.Trace:
@@ -192,6 +219,20 @@ func (s *Scheduler) execute(t *task) {
 		res, err = hypermm.Run(t.job.Plan.Algorithm, t.job.Cfg, t.job.A, t.job.B)
 	}
 	wall := time.Since(start)
+	rspan.Set(obs.Bool("ok", err == nil))
+	rspan.End()
+	s.metrics.StageObserve(stage, wall)
+	if err == nil && tr != nil {
+		// Anchor the simulated timeline of a traced run to the wall
+		// interval it executed in, so the merged Chrome export can place
+		// simulated node activity under the server spans.
+		if sc, ok := obs.FromContext(rctx); ok && sc.Valid() {
+			s.tracer.AttachSim(sc.TraceID, obs.SimTimeline{
+				Events: tr.TimelineEvents(), Elapsed: res.Elapsed, P: t.job.Cfg.P,
+				Start: start.UnixNano(), End: start.Add(wall).UnixNano(),
+			})
+		}
+	}
 
 	if err == nil && t.job.Verify {
 		tol := 1e-8 * float64(t.job.A.Rows)
@@ -216,6 +257,10 @@ func (s *Scheduler) execute(t *task) {
 // errKind buckets a job error for the hmmd_job_errors_total metric.
 func errKind(err error) string {
 	switch {
+	case errors.Is(err, ErrSaturated):
+		return "saturated"
+	case errors.Is(err, ErrDraining):
+		return "draining"
 	case errors.Is(err, hypermm.ErrLinkDown):
 		return "link_down"
 	case errors.Is(err, hypermm.ErrDeadline):

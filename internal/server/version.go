@@ -1,0 +1,38 @@
+package server
+
+import "runtime/debug"
+
+// VersionInfo identifies the running build, read from the information
+// the Go linker embeds in every binary — no ldflags stamping required.
+type VersionInfo struct {
+	Module    string `json:"module"`
+	Version   string `json:"version"`            // module version ("(devel)" for local builds)
+	GoVersion string `json:"go_version"`         // toolchain that built the binary
+	Revision  string `json:"revision,omitempty"` // VCS commit, when built from a checkout
+	Modified  bool   `json:"modified,omitempty"` // VCS tree had local changes
+}
+
+// ReadVersion extracts the build identity via debug.ReadBuildInfo.
+// Binaries built without module support (go test harnesses never are)
+// yield a mostly-empty value rather than an error.
+func ReadVersion() VersionInfo {
+	v := VersionInfo{Version: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return v
+	}
+	v.Module = bi.Main.Path
+	if bi.Main.Version != "" {
+		v.Version = bi.Main.Version
+	}
+	v.GoVersion = bi.GoVersion
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			v.Revision = s.Value
+		case "vcs.modified":
+			v.Modified = s.Value == "true"
+		}
+	}
+	return v
+}

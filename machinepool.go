@@ -3,6 +3,7 @@ package hypermm
 import (
 	"container/list"
 	"sync"
+	"time"
 
 	"hypermm/internal/simnet"
 )
@@ -32,6 +33,7 @@ type MachinePool struct {
 	misses    int64
 	evictions int64
 	closed    bool
+	observe   func(hit bool, wait time.Duration) // nil: no checkout observer
 }
 
 // poolKey is the machine-shaping part of a Config: two configs with the
@@ -77,6 +79,17 @@ func (p *MachinePool) Stats() PoolStats {
 	return PoolStats{Hits: p.hits, Misses: p.misses, Evictions: p.evictions, Size: p.order.Len()}
 }
 
+// SetObserver registers fn to run after every checkout with whether a
+// warm machine was reused and how long the checkout took (lock wait
+// plus machine construction on a miss) — the hook behind the serving
+// tier's hmmd_stage_seconds{stage="pool_checkout"} histogram. One
+// observer; nil clears it. Set before the pool sees concurrent use.
+func (p *MachinePool) SetObserver(fn func(hit bool, wait time.Duration)) {
+	p.mu.Lock()
+	p.observe = fn
+	p.mu.Unlock()
+}
+
 // RunOn is Run on a pooled machine: it checks a warm machine out (or
 // builds one on a miss), runs the multiplication, and returns the
 // machine to the pool. Results — product bytes, simulated Elapsed,
@@ -107,6 +120,7 @@ func (p *MachinePool) checkout(cfg Config) (*simnet.Machine, error) {
 	if err := validateConfig(cfg); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	key := poolKey{p: cfg.P, ports: cfg.Ports, ts: cfg.Ts, tw: cfg.Tw, tc: cfg.Tc}
 	p.mu.Lock()
 	var m *simnet.Machine
@@ -119,7 +133,9 @@ func (p *MachinePool) checkout(cfg Config) (*simnet.Machine, error) {
 	} else {
 		p.misses++
 	}
+	observe := p.observe
 	p.mu.Unlock()
+	hit := m != nil
 	if m == nil {
 		m = simnet.NewMachine(simnet.Config{
 			P: cfg.P, Ports: cfg.Ports.internal(), Ts: cfg.Ts, Tw: cfg.Tw, Tc: cfg.Tc,
@@ -128,6 +144,9 @@ func (p *MachinePool) checkout(cfg Config) (*simnet.Machine, error) {
 	}
 	m.Cfg.Faults = cfg.Faults.internal()
 	m.Cfg.Deadline = cfg.Deadline
+	if observe != nil {
+		observe(hit, time.Since(start))
+	}
 	return m, nil
 }
 

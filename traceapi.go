@@ -53,3 +53,10 @@ func (t *Trace) Events() int { return t.log.Len() }
 // send/receive/compute span, nodes rendered as threads. Simulated time
 // maps to the format's microsecond unit.
 func (t *Trace) ChromeJSON(w io.Writer) error { return t.log.ChromeJSON(w) }
+
+// TimelineEvents returns a copy of the recorded per-node events sorted
+// by (node, start). The element type lives in hypermm/internal/trace,
+// so only packages inside this module can name it — it exists for the
+// observability layer's merged exports (internal/obs), not for public
+// consumption.
+func (t *Trace) TimelineEvents() []trace.Event { return t.log.Events() }
