@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet fuzz chaos bench serve-smoke calibrate-smoke cluster-smoke obs-smoke soak soak-smoke clean
+.PHONY: check build test race vet fuzz chaos bench serve-smoke calibrate-smoke cluster-smoke obs-smoke qos-smoke soak soak-smoke clean
 
 check: vet build test race server-race
 
@@ -39,6 +39,7 @@ fuzz:
 	$(GO) test ./internal/matrix -run XXX -fuzz FuzzGridBlockRoundTrip -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/calibrate -run XXX -fuzz FuzzProfileParse -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/cluster -run XXX -fuzz FuzzTraceContext -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/qos -run XXX -fuzz FuzzQoSConfigParse -fuzztime $(FUZZTIME)
 
 # Differential verification harness under fault injection; deterministic
 # for a fixed -seed.
@@ -88,6 +89,26 @@ obs-smoke:
 		-smoke -trace-out $(OBS_TRACE) -pprof-check; rc=$$?; \
 	kill -TERM $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
 	rm -f /tmp/hmmd-obs; exit $$rc
+
+# QoS smoke: boot a coordinator (with the sample multi-tenant policy)
+# and two workers, then race a paced interactive tenant against an
+# unpaced best-effort flood with the stress client's tenants mode. The
+# paced tenant must keep at least a 95% success rate while the flood is
+# queued, shed or both, and /metrics must expose the hmmd_qos_* family.
+QOS_HTTP ?= 127.0.0.1:17417
+QOS_ADDR ?= 127.0.0.1:17418
+QOS_CONF ?= cmd/hmmd/testdata/qos.json
+qos-smoke:
+	$(GO) build -o /tmp/hmmd-qos ./cmd/hmmd
+	@/tmp/hmmd-qos -role coordinator -addr $(QOS_HTTP) -cluster-addr $(QOS_ADDR) \
+		-qos $(QOS_CONF) -workers 2 -queue 8 & cpid=$$!; \
+	/tmp/hmmd-qos -role worker -join $(QOS_ADDR) -addr 127.0.0.1:0 -name w1 -workers 2 -qos $(QOS_CONF) & w1pid=$$!; \
+	/tmp/hmmd-qos -role worker -join $(QOS_ADDR) -addr 127.0.0.1:0 -name w2 -workers 2 -qos $(QOS_CONF) & w2pid=$$!; \
+	$(GO) run ./cmd/stress -url http://$(QOS_HTTP) -requests 24 -c 8 -n 192 -p 64 \
+		-tenants "paced:interactive:20,flood:best-effort:0" -assert-success paced:0.95 -smoke; rc=$$?; \
+	kill -TERM $$cpid $$w1pid $$w2pid 2>/dev/null; \
+	wait $$cpid 2>/dev/null; wait $$w1pid 2>/dev/null; wait $$w2pid 2>/dev/null; \
+	rm -f /tmp/hmmd-qos; exit $$rc
 
 # Run the calibration pipeline end to end on a small grid and require
 # a valid, assertion-clean profile: the fit must stay within a generous

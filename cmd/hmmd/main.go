@@ -8,6 +8,7 @@
 //
 //	hmmd -addr :8080 -workers 4 -queue 16
 //	hmmd -calibration profile.json   # plan with a cmd/calibrate profile
+//	hmmd -qos qos.json               # multi-tenant weighted-fair QoS
 //
 //	hmmd -role coordinator -addr :8080 -cluster-addr :9000
 //	hmmd -role worker -join host:9000 -addr :8081
@@ -21,6 +22,8 @@
 //	GET  /v1/plan        cost-model plan without running anything
 //	GET  /v1/regionmap   Figure 13/14-style best-algorithm map (text)
 //	GET  /v1/calibration the loaded calibration profile (404 without one)
+//	GET  /v1/qos         the loaded QoS policy + live per-tenant stats
+//	                     (404 without one)
 //	GET  /v1/trace/{id}  a recent request's trace: Chrome trace-event JSON
 //	                     (default; merged with the simulated timeline for
 //	                     "trace": true jobs) or raw spans (?format=spans)
@@ -39,6 +42,15 @@
 // With -calibration, plans are marked "calibrated": true and predicted
 // times come from the measurement-fitted model instead of the raw
 // Table 2 expressions.
+//
+// With -qos, requests resolve to tenants by X-API-Key or X-Tenant
+// header, the scheduler queue becomes a weighted-fair priority queue
+// (interactive > batch > best-effort, per-tenant virtual-time WFQ
+// within a class, EDF within a tenant), token buckets meter each
+// tenant's admission by the planner's predicted cost (429 +
+// Retry-After when exhausted, 504 when a deadline is predicted
+// infeasible), best-effort work is shed first under overload, and
+// /metrics gains per-tenant hmmd_qos_* series.
 //
 // With -role coordinator, a second TCP listener (-cluster-addr) accepts
 // worker registrations and every non-trace job is sharded least-loaded
@@ -61,6 +73,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -68,6 +82,7 @@ import (
 	"hypermm/internal/calibrate"
 	"hypermm/internal/cluster"
 	"hypermm/internal/obs"
+	"hypermm/internal/qos"
 	"hypermm/internal/server"
 )
 
@@ -104,6 +119,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		maxP    = fs.Int("maxp", 4096, "largest accepted machine size")
 		drain   = fs.Duration("drain", 30*time.Second, "shutdown drain budget")
 		calib   = fs.String("calibration", "", "calibration profile JSON (from cmd/calibrate); empty: raw Table 2 model")
+		qosPath = fs.String("qos", "", "multi-tenant QoS policy JSON (tenants, weights, classes, quotas); empty: single-tenant FIFO")
 
 		role        = fs.String("role", "", `cluster role: "" standalone, "coordinator", or "worker"`)
 		clusterAddr = fs.String("cluster-addr", ":9000", "coordinator: TCP listen address for worker registrations")
@@ -191,6 +207,23 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 			"max_rel_err", profile.MaxRelErr())
 	}
 
+	var qosCfg *qos.Config
+	if *qosPath != "" {
+		c, err := qos.Load(*qosPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "hmmd:", err)
+			return 1
+		}
+		qosCfg = c
+		names := make([]string, 0, len(c.Tenants))
+		for n := range c.Tenants {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		logger.Info("hmmd: qos policy loaded",
+			"path", *qosPath, "tenants", strings.Join(names, ","), "default", c.Default != nil)
+	}
+
 	var coord *cluster.Coordinator
 	if *role == "coordinator" {
 		var err error
@@ -210,7 +243,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 
 	srv, err := server.New(server.Config{
 		Workers: *workers, QueueDepth: *queue, PoolSize: *pool, CacheSize: *cache,
-		MaxN: *maxN, MaxP: *maxP, Calibration: profile, Cluster: coord,
+		MaxN: *maxN, MaxP: *maxP, Calibration: profile, Cluster: coord, QoS: qosCfg,
 		TraceRing: *traceRing, Tracer: tracer, Log: logger, Pprof: *pprofOn,
 	})
 	if err != nil {
@@ -234,8 +267,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	var wk *cluster.Worker
 	workerErr := make(chan error, 1)
 	if *role == "worker" {
-		exec := func(ctx context.Context, alg hypermm.Algorithm, cfg hypermm.Config, A, B *hypermm.Matrix) (*hypermm.Result, error) {
-			res, err := srv.Execute(ctx, alg, cfg, A, B)
+		exec := func(ctx context.Context, meta cluster.JobMeta, alg hypermm.Algorithm, cfg hypermm.Config, A, B *hypermm.Matrix) (*hypermm.Result, error) {
+			res, err := srv.ExecuteMeta(ctx, meta, alg, cfg, A, B)
 			if errors.Is(err, server.ErrSaturated) || errors.Is(err, server.ErrDraining) {
 				return nil, fmt.Errorf("%w: %v", cluster.ErrBusy, err)
 			}
@@ -244,7 +277,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		deadline := time.Now().Add(*joinWait)
 		for {
 			wk, err = cluster.Join(context.Background(), *join, cluster.WorkerConfig{
-				Name: wname, Exec: exec, MaxN: *maxN, MaxP: *maxP,
+				Name: wname, ExecMeta: exec, MaxN: *maxN, MaxP: *maxP,
 				Log: logger, Tracer: tracer,
 			})
 			if err == nil {

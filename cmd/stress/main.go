@@ -12,6 +12,13 @@
 //
 //	stress -url http://127.0.0.1:8080 -requests 64 -c 8 -n 64 -p 64
 //
+// Multi-tenant mode (-tenants on top of -url) fires one traffic stream
+// per tenant — "paced:interactive:20,flood:best-effort:0" runs a paced
+// interactive tenant at 20 req/s against an unpaced best-effort flood —
+// with X-Tenant headers, and reports per-tenant status counts, success
+// rate and latency quantiles; -assert-success paced:0.95 turns the
+// report into a fairness gate. The qos-smoke make target uses it.
+//
 // Cluster mode (-cluster N on top of -url) drives a coordinator: it
 // waits for N registered workers, pins one response byte-identical to a
 // local run, and — with -kill-after K -kill-pid PID — SIGKILLs a worker
@@ -60,6 +67,9 @@ func main() {
 
 		traceOut   = flag.String("trace-out", "", "fire one traced request, fetch its merged Chrome trace from /v1/trace/{id} and write it to this file (load mode)")
 		pprofCheck = flag.Bool("pprof-check", false, "assert GET /debug/pprof/cmdline answers 200 (load mode; server must run with -pprof)")
+
+		tenants       = flag.String("tenants", "", "multi-tenant mode: comma-separated name:class:rps streams (rps 0 floods); sends X-Tenant headers, reports per-tenant success and latency")
+		assertSuccess = flag.String("assert-success", "", "name:frac — exit 1 unless that tenant's success rate is at least frac (tenants mode)")
 	)
 	flag.Parse()
 
@@ -69,6 +79,7 @@ func main() {
 			alg: *alg, verify: *verify, smoke: *smoke, wait: *wait,
 			cluster: *clusterN, killAfter: *killAfter, killPid: *killPid,
 			traceOut: *traceOut, pprofCheck: *pprofCheck,
+			tenants: *tenants, assertSuccess: *assertSuccess,
 		}))
 	}
 
@@ -114,6 +125,9 @@ type loadOpts struct {
 
 	traceOut   string // write one request's Chrome trace here ("": skip)
 	pprofCheck bool   // assert the pprof endpoints are mounted
+
+	tenants       string // name:class:rps streams; "" keeps single-tenant mode
+	assertSuccess string // name:frac success-rate floor (tenants mode)
 }
 
 // loadGenerate drives hmmd and returns the process exit code.
@@ -140,6 +154,12 @@ func loadGenerate(o loadOpts) int {
 		if code := clusterPreflight(client, base, o); code != 0 {
 			return code
 		}
+	}
+
+	// Multi-tenant mode replaces the single batch with one traffic
+	// stream per tenant; fairness, not universal success, is the check.
+	if o.tenants != "" {
+		return tenantLoad(client, base, o)
 	}
 
 	body := fmt.Sprintf(`{"n": %d, "p": %d, "algorithm": %q, "verify": %v}`, o.n, o.p, o.alg, o.verify)

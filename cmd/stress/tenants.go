@@ -1,0 +1,223 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// tenantSpec is one entry of the -tenants flag: name:class:rps. An rps
+// of 0 floods (fires as fast as -c clients allow); a positive rps paces
+// a single client at that rate.
+type tenantSpec struct {
+	name, class string
+	rps         float64
+}
+
+func parseTenants(s string) ([]tenantSpec, error) {
+	var specs []tenantSpec
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 3 || fields[0] == "" {
+			return nil, fmt.Errorf("bad tenant %q, want name:class:rps", part)
+		}
+		rps, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil || rps < 0 {
+			return nil, fmt.Errorf("bad tenant %q rps: %v", part, fields[2])
+		}
+		specs = append(specs, tenantSpec{name: fields[0], class: fields[1], rps: rps})
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("empty -tenants spec")
+	}
+	return specs, nil
+}
+
+// parseAssert parses -assert-success name:frac.
+func parseAssert(s string) (string, float64, error) {
+	i := strings.LastIndex(s, ":")
+	if i <= 0 {
+		return "", 0, fmt.Errorf("bad -assert-success %q, want name:frac", s)
+	}
+	frac, err := strconv.ParseFloat(s[i+1:], 64)
+	if err != nil || frac < 0 || frac > 1 {
+		return "", 0, fmt.Errorf("bad -assert-success fraction %q", s[i+1:])
+	}
+	return s[:i], frac, nil
+}
+
+// tenantResult accumulates one tenant's outcomes.
+type tenantResult struct {
+	statuses  map[int]int
+	latencies []time.Duration
+	netErrs   int
+}
+
+func (r *tenantResult) successRate(total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(r.statuses[200]) / float64(total)
+}
+
+// tenantLoad drives hmmd with one traffic stream per tenant — paced
+// tenants at their configured rate, flooding tenants as fast as -c
+// concurrent clients can go — and reports per-tenant status counts,
+// success rate and latency quantiles. Returns the process exit code.
+func tenantLoad(client *http.Client, base string, o loadOpts) int {
+	specs, err := parseTenants(o.tenants)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stress:", err)
+		return 2
+	}
+	var assertName string
+	var assertFrac float64
+	if o.assertSuccess != "" {
+		assertName, assertFrac, err = parseAssert(o.assertSuccess)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stress:", err)
+			return 2
+		}
+	}
+
+	results := make(map[string]*tenantResult, len(specs))
+	for _, spec := range specs {
+		results[spec.name] = &tenantResult{statuses: map[int]int{}}
+	}
+
+	var mu sync.Mutex
+	fire := func(spec tenantSpec) {
+		body := fmt.Sprintf(`{"n": %d, "p": %d, "algorithm": %q, "class": %q}`,
+			o.n, o.p, o.alg, spec.class)
+		req, err := http.NewRequest("POST", base+"/v1/matmul", strings.NewReader(body))
+		if err != nil {
+			panic(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Tenant", spec.name)
+		t0 := time.Now()
+		resp, err := client.Do(req)
+		lat := time.Since(t0)
+		mu.Lock()
+		defer mu.Unlock()
+		r := results[spec.name]
+		r.latencies = append(r.latencies, lat)
+		if err != nil {
+			r.netErrs++
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		r.statuses[resp.StatusCode]++
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, spec := range specs {
+		spec := spec
+		if spec.rps > 0 {
+			// Paced: one well-behaved client at a fixed rate.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				interval := time.Duration(float64(time.Second) / spec.rps)
+				for i := 0; i < o.requests; i++ {
+					if i > 0 {
+						time.Sleep(interval)
+					}
+					fire(spec)
+				}
+			}()
+			continue
+		}
+		// Flood: -c concurrent clients, no pacing.
+		work := make(chan struct{})
+		for w := 0; w < o.conc; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for range work {
+					fire(spec)
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < o.requests; i++ {
+				work <- struct{}{}
+			}
+			close(work)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("%d requests per tenant to %s (n=%d p=%d alg=%s, %d flood clients) in %v\n",
+		o.requests, base, o.n, o.p, o.alg, o.conc, elapsed.Round(time.Millisecond))
+	for _, spec := range specs {
+		r := results[spec.name]
+		mode := "flood"
+		if spec.rps > 0 {
+			mode = fmt.Sprintf("%.1f req/s", spec.rps)
+		}
+		sort.Slice(r.latencies, func(i, j int) bool { return r.latencies[i] < r.latencies[j] })
+		quant := func(q float64) time.Duration {
+			if len(r.latencies) == 0 {
+				return 0
+			}
+			return r.latencies[int(q*float64(len(r.latencies)-1))]
+		}
+		fmt.Printf("tenant %s (%s, %s): success %.1f%%\n",
+			spec.name, spec.class, mode, 100*r.successRate(o.requests))
+		codes := make([]int, 0, len(r.statuses))
+		for c := range r.statuses {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Printf("  status %3d  x%d\n", c, r.statuses[c])
+		}
+		if r.netErrs > 0 {
+			fmt.Printf("  network errors x%d\n", r.netErrs)
+		}
+		fmt.Printf("  latency p50 %v  p99 %v\n", quant(0.5), quant(0.99))
+	}
+
+	if o.smoke {
+		data, code := scrapeMetrics(client, base)
+		if code != 0 {
+			return code
+		}
+		// The per-tenant QoS family must be live; in particular the shed
+		// counter, so the fairness run is observable.
+		for _, want := range []string{"hmmd_jobs_total", "hmmd_qos_sheds_total", "hmmd_qos_queue_depth"} {
+			if !strings.Contains(data, want) {
+				fmt.Fprintf(os.Stderr, "stress: /metrics scrape missing %s\n", want)
+				return 1
+			}
+		}
+		fmt.Printf("  /metrics ok (%d bytes, hmmd_qos_* present)\n", len(data))
+	}
+
+	if assertName != "" {
+		r, ok := results[assertName]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "stress: -assert-success tenant %q not in -tenants\n", assertName)
+			return 2
+		}
+		if rate := r.successRate(o.requests); rate < assertFrac {
+			fmt.Fprintf(os.Stderr, "stress: tenant %s success %.1f%% < required %.1f%%\n",
+				assertName, 100*rate, 100*assertFrac)
+			return 1
+		}
+		fmt.Printf("  assert ok: %s success >= %.0f%%\n", assertName, 100*assertFrac)
+	}
+	return 0
+}

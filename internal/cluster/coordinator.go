@@ -437,12 +437,30 @@ func (c *Coordinator) cancelPending(w *workerConn, id uint64) {
 	c.mu.Unlock()
 }
 
+// JobMeta is the QoS attribution a job carries across the wire: the
+// admitting tenant, its class name, and the numeric priority (0 most
+// important). The zero value means unattributed default work.
+type JobMeta struct {
+	Tenant   string
+	Class    string
+	Priority int
+}
+
 // Submit routes one multiplication to a worker and returns its result,
 // failing over with exponential backoff when the worker dies mid-job
 // or answers busy. The result is byte-identical to hypermm.Run of the
 // same job: workers run the unmodified emulator, which is deterministic
 // in (alg, cfg, A, B) and independent of which process hosts it.
 func (c *Coordinator) Submit(ctx context.Context, alg hypermm.Algorithm, cfg hypermm.Config, A, B *hypermm.Matrix) (*hypermm.Result, error) {
+	return c.SubmitMeta(ctx, JobMeta{}, alg, cfg, A, B)
+}
+
+// SubmitMeta is Submit with QoS attribution: the meta rides the job
+// frame so the worker can account the run to the right tenant, and the
+// retry backoff scales with priority — less important jobs back off
+// longer after a busy answer, yielding dispatch slots to interactive
+// traffic contending for the same saturated workers.
+func (c *Coordinator) SubmitMeta(ctx context.Context, meta JobMeta, alg hypermm.Algorithm, cfg hypermm.Config, A, B *hypermm.Matrix) (*hypermm.Result, error) {
 	c.mu.Lock()
 	if c.draining {
 		c.mu.Unlock()
@@ -456,6 +474,7 @@ func (c *Coordinator) Submit(ctx context.Context, alg hypermm.Algorithm, cfg hyp
 		Algorithm: alg.Name(), N: A.Rows, P: cfg.P, Ports: int(cfg.Ports),
 		Ts: cfg.Ts, Tw: cfg.Tw, Tc: cfg.Tc,
 		Deadline: cfg.Deadline, Fault: toWireFault(cfg.Faults),
+		Tenant: meta.Tenant, Class: meta.Class, Priority: meta.Priority,
 	}
 	if A.Rows != A.Cols || B.Rows != A.Rows || B.Cols != A.Rows {
 		return nil, fmt.Errorf("cluster: operands must be square and equal-sized, got %dx%d and %dx%d",
@@ -474,7 +493,13 @@ func (c *Coordinator) Submit(ctx context.Context, alg hypermm.Algorithm, cfg hyp
 	callerSC, _ := obs.FromContext(ctx)
 
 	var exclude map[uint64]bool
+	// Priority scales the retry backoff: best-effort (priority 2) waits
+	// 3x as long as interactive (priority 0) after each busy answer, so
+	// under contention the retry slots skew toward important traffic.
 	backoff := c.cfg.RetryBackoff
+	if meta.Priority > 0 {
+		backoff *= time.Duration(meta.Priority + 1)
+	}
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		if deadline, ok := ctx.Deadline(); ok {
@@ -498,9 +523,14 @@ func (c *Coordinator) Submit(ctx context.Context, alg hypermm.Algorithm, cfg hyp
 			}
 			return nil, ErrNoWorkers
 		}
-		_, aspan := c.cfg.Tracer.StartSpan(ctx, "cluster.attempt",
+		attrs := []obs.Attr{
 			obs.Int("attempt", attempt), obs.String("worker", w.name),
-			obs.String("algorithm", spec.Algorithm), obs.Int("n", spec.N), obs.Int("p", spec.P))
+			obs.String("algorithm", spec.Algorithm), obs.Int("n", spec.N), obs.Int("p", spec.P),
+		}
+		if meta.Tenant != "" {
+			attrs = append(attrs, obs.String("tenant", meta.Tenant), obs.String("class", meta.Class))
+		}
+		_, aspan := c.cfg.Tracer.StartSpan(ctx, "cluster.attempt", attrs...)
 		if asc := aspan.Context(); asc.Valid() {
 			spec.TraceID, spec.SpanID = asc.TraceID, asc.SpanID
 		} else if callerSC.Valid() {

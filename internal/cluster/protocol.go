@@ -105,6 +105,14 @@ type jobSpec struct {
 	WallMs    int64      `json:"wall_ms,omitempty"`  // remaining wall-clock budget
 	Fault     *wireFault `json:"fault,omitempty"`
 
+	// QoS attribution: which tenant admitted the job, its class name,
+	// and the numeric priority (0 most important). Optional — a plain
+	// Submit leaves them zero; workers without QoS configured treat the
+	// job as pre-admitted default-tenant work either way.
+	Tenant   string `json:"tenant,omitempty"`
+	Class    string `json:"class,omitempty"`
+	Priority int    `json:"priority,omitempty"`
+
 	// Trace context: the coordinator-side trace this job belongs to and
 	// the dispatch span to parent worker spans under. Optional; the
 	// worker validates both and silently ignores a malformed or

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"hypermm"
+)
+
+// TestJobMetaPropagates pins the QoS attribution path across the wire:
+// the meta handed to SubmitMeta must arrive verbatim at the worker's
+// ExecMeta hook, and a plain Submit must arrive as the zero meta.
+func TestJobMetaPropagates(t *testing.T) {
+	var mu sync.Mutex
+	var seen []JobMeta
+	execMeta := func(ctx context.Context, meta JobMeta, alg hypermm.Algorithm, cfg hypermm.Config, A, B *hypermm.Matrix) (*hypermm.Result, error) {
+		mu.Lock()
+		seen = append(seen, meta)
+		mu.Unlock()
+		return hypermm.Run(alg, cfg, A, B)
+	}
+
+	coord, err := NewCoordinator(Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	w, err := Join(context.Background(), coord.Addr().String(), WorkerConfig{
+		Name: "meta-worker", ExecMeta: execMeta,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go w.Serve(context.Background())
+	t.Cleanup(w.Abort)
+	waitWorkers(t, coord, 1)
+
+	A := hypermm.RandomMatrix(16, 16, 1)
+	B := hypermm.RandomMatrix(16, 16, 2)
+	meta := JobMeta{Tenant: "acme", Class: "interactive", Priority: 0}
+	if _, err := coord.SubmitMeta(context.Background(), meta, hypermm.Cannon, testCfg, A, B); err != nil {
+		t.Fatalf("SubmitMeta: %v", err)
+	}
+	if _, err := coord.Submit(context.Background(), hypermm.Cannon, testCfg, A, B); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 {
+		t.Fatalf("worker executed %d jobs, want 2", len(seen))
+	}
+	if seen[0] != meta {
+		t.Errorf("attributed job meta = %+v, want %+v", seen[0], meta)
+	}
+	if seen[1] != (JobMeta{}) {
+		t.Errorf("plain Submit meta = %+v, want zero", seen[1])
+	}
+}
+
+// TestJobMetaResultUnchanged pins that attribution is metadata only:
+// the same job submitted with and without meta returns byte-identical
+// results.
+func TestJobMetaResultUnchanged(t *testing.T) {
+	coord, _ := testCluster(t, Config{}, LocalExec)
+	A := hypermm.RandomMatrix(16, 16, 5)
+	B := hypermm.RandomMatrix(16, 16, 6)
+	plain, err := coord.Submit(context.Background(), hypermm.ThreeAll, testCfg, A, B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attributed, err := coord.SubmitMeta(context.Background(),
+		JobMeta{Tenant: "bulk", Class: "best-effort", Priority: 2},
+		hypermm.ThreeAll, testCfg, A, B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Elapsed != attributed.Elapsed || plain.Comm != attributed.Comm {
+		t.Errorf("meta changed the result: %+v vs %+v", plain, attributed)
+	}
+	for i := range plain.C.Data {
+		if plain.C.Data[i] != attributed.C.Data[i] {
+			t.Fatalf("product word %d differs: %g != %g", i, plain.C.Data[i], attributed.C.Data[i])
+		}
+	}
+}

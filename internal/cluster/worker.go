@@ -25,6 +25,10 @@ var ErrBusy = errors.New("cluster: worker busy")
 // budget; LocalExec is the direct adapter.
 type ExecFunc func(ctx context.Context, alg hypermm.Algorithm, cfg hypermm.Config, A, B *hypermm.Matrix) (*hypermm.Result, error)
 
+// ExecMetaFunc is ExecFunc plus the job's QoS attribution, for workers
+// that account executions per tenant.
+type ExecMetaFunc func(ctx context.Context, meta JobMeta, alg hypermm.Algorithm, cfg hypermm.Config, A, B *hypermm.Matrix) (*hypermm.Result, error)
+
 // LocalExec runs the job in-process on a fresh machine — the reference
 // executor the conformance oracle and the tests use.
 var LocalExec ExecFunc = func(_ context.Context, alg hypermm.Algorithm, cfg hypermm.Config, A, B *hypermm.Matrix) (*hypermm.Result, error) {
@@ -35,8 +39,12 @@ var LocalExec ExecFunc = func(_ context.Context, alg hypermm.Algorithm, cfg hype
 type WorkerConfig struct {
 	Name string // advertised in the handshake and in coordinator stats
 
-	// Exec executes jobs; required.
+	// Exec executes jobs; required unless ExecMeta is set.
 	Exec ExecFunc
+
+	// ExecMeta, when set, takes precedence over Exec and additionally
+	// receives the job's QoS attribution from the wire.
+	ExecMeta ExecMetaFunc
 
 	// MaxN / MaxP advertise the worker's size limits in the handshake
 	// (0: unbounded). The worker also enforces them on incoming jobs.
@@ -76,8 +84,8 @@ type Worker struct {
 // Join dials the coordinator and performs the registration handshake.
 // The returned Worker is idle until Serve runs its read loop.
 func Join(ctx context.Context, addr string, cfg WorkerConfig) (*Worker, error) {
-	if cfg.Exec == nil {
-		return nil, errors.New("cluster: WorkerConfig.Exec is required")
+	if cfg.Exec == nil && cfg.ExecMeta == nil {
+		return nil, errors.New("cluster: WorkerConfig.Exec or ExecMeta is required")
 	}
 	if cfg.MaxFrame <= 0 {
 		cfg.MaxFrame = DefaultMaxFrame
@@ -296,7 +304,8 @@ func (w *Worker) handleJob(hdr, tail []byte) {
 			}
 			return out
 		}
-		res, err := w.exec(ctx, alg, cfg, A, B)
+		meta := JobMeta{Tenant: spec.Tenant, Class: spec.Class, Priority: spec.Priority}
+		res, err := w.exec(ctx, meta, alg, cfg, A, B)
 		if err != nil {
 			kind := errKindOf(err)
 			_ = w.send(msgResult, jobReply{ID: spec.ID, Err: err.Error(), ErrKind: kind, Spans: jobSpans(kind)}, nil)
@@ -312,12 +321,15 @@ func (w *Worker) handleJob(hdr, tail []byte) {
 
 // exec invokes the hook, converting a panic into a job error so one
 // poisoned job can't take the whole worker down.
-func (w *Worker) exec(ctx context.Context, alg hypermm.Algorithm, cfg hypermm.Config, A, B *hypermm.Matrix) (res *hypermm.Result, err error) {
+func (w *Worker) exec(ctx context.Context, meta JobMeta, alg hypermm.Algorithm, cfg hypermm.Config, A, B *hypermm.Matrix) (res *hypermm.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("cluster: job panicked: %v", r)
 		}
 	}()
+	if w.cfg.ExecMeta != nil {
+		return w.cfg.ExecMeta(ctx, meta, alg, cfg, A, B)
+	}
 	return w.cfg.Exec(ctx, alg, cfg, A, B)
 }
 

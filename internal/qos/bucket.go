@@ -1,0 +1,81 @@
+package qos
+
+import (
+	"sync"
+	"time"
+)
+
+// Bucket is a token bucket with overdraft: a take succeeds whenever the
+// balance is positive, debiting the full cost even when that drives the
+// balance negative (debt). Further takes then fail until refill pays
+// the debt off. The overdraft means a tenant can always afford its
+// largest single job once its balance recovers — there is no job too
+// expensive to ever admit — while still being throttled to its
+// long-term rate.
+//
+// Costs and the balance are in the planner's predicted-cost units
+// (simulated time); rate is units per wall-clock second. Safe for
+// concurrent use.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64 // units per second
+	burst  float64 // balance cap
+	tokens float64 // current balance; negative = debt
+	last   time.Time
+	now    func() time.Time
+}
+
+// NewBucket returns a full bucket. now is the clock (nil: time.Now),
+// injectable for deterministic tests.
+func NewBucket(rate, burst float64, now func() time.Time) *Bucket {
+	if now == nil {
+		now = time.Now
+	}
+	return &Bucket{rate: rate, burst: burst, tokens: burst, last: now(), now: now}
+}
+
+// refill advances the balance to the present. Caller holds mu.
+func (b *Bucket) refill() {
+	t := b.now()
+	if dt := t.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = t
+}
+
+// Take attempts to debit cost. On success it returns ok=true. On
+// failure (balance not positive) it returns the wall-clock wait until
+// the balance next turns positive — the Retry-After hint.
+func (b *Bucket) Take(cost float64) (ok bool, wait time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill()
+	if b.tokens > 0 {
+		b.tokens -= cost
+		return true, 0
+	}
+	// Time for refill to pay off the debt and produce the first
+	// positive token.
+	need := -b.tokens
+	if b.rate <= 0 {
+		// Unreachable via the Registry (rate 0 means no bucket), but a
+		// hand-built zero-rate bucket must not divide by zero.
+		return false, time.Hour
+	}
+	return false, time.Duration((need/b.rate)*float64(time.Second)) + time.Millisecond
+}
+
+// Balance reports the current balance after refill: (available tokens,
+// outstanding debt). Exactly one of the two is non-zero.
+func (b *Bucket) Balance() (tokens, debt float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill()
+	if b.tokens >= 0 {
+		return b.tokens, 0
+	}
+	return 0, -b.tokens
+}

@@ -1,0 +1,57 @@
+package qos
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic bucket
+// tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func TestBucketDebitAndRefill(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBucket(10, 100, clk.now) // 10 units/s, burst 100
+
+	if ok, _ := b.Take(60); !ok {
+		t.Fatal("full bucket refused an affordable job")
+	}
+	if tok, debt := b.Balance(); tok != 40 || debt != 0 {
+		t.Fatalf("balance = (%g, %g), want (40, 0)", tok, debt)
+	}
+	// Overdraft: balance is positive, so an expensive job is admitted
+	// and drives the bucket into debt.
+	if ok, _ := b.Take(90); !ok {
+		t.Fatal("positive balance refused the overdraft job")
+	}
+	if tok, debt := b.Balance(); tok != 0 || debt != 50 {
+		t.Fatalf("balance = (%g, %g), want (0, 50)", tok, debt)
+	}
+	// In debt: refused, with a Retry-After that pays the debt off at
+	// the refill rate (50 units / 10 per s = 5s).
+	ok, wait := b.Take(1)
+	if ok {
+		t.Fatal("bucket in debt admitted a job")
+	}
+	if wait < 5*time.Second || wait > 6*time.Second {
+		t.Fatalf("retry-after = %v, want ~5s", wait)
+	}
+	// Advancing past the debt restores admission.
+	clk.advance(6 * time.Second)
+	if ok, _ := b.Take(1); !ok {
+		t.Fatal("refilled bucket still refusing")
+	}
+}
+
+func TestBucketBurstCap(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBucket(1000, 50, clk.now)
+	clk.advance(time.Hour) // refill must clamp at burst
+	if tok, _ := b.Balance(); tok != 50 {
+		t.Fatalf("balance after long idle = %g, want burst 50", tok)
+	}
+}

@@ -1,0 +1,141 @@
+package qos
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// ConfigVersion is the schema version Parse accepts.
+const ConfigVersion = 1
+
+// TenantSpec is one tenant's policy in the config file.
+type TenantSpec struct {
+	// Keys are the API keys (X-API-Key header values) that resolve to
+	// this tenant; the tenant's name itself always matches the X-Tenant
+	// header. Optional.
+	Keys []string `json:"keys,omitempty"`
+	// Weight is the tenant's weighted-fair-queueing share; must be
+	// positive and finite. Defaults to 1 when omitted.
+	Weight float64 `json:"weight,omitempty"`
+	// Class is the tenant's default priority class: "interactive",
+	// "batch" (default) or "best-effort". A request may demote itself to
+	// a lower class but never claim a higher one.
+	Class string `json:"class,omitempty"`
+	// Rate refills the tenant's token bucket, in predicted-cost units
+	// (simulated time) per wall-clock second. 0 disables the quota.
+	Rate float64 `json:"rate,omitempty"`
+	// Burst is the bucket capacity, in the same units; required (and
+	// positive) when Rate is set.
+	Burst float64 `json:"burst,omitempty"`
+	// MaxConcurrency caps the tenant's in-flight jobs; queued jobs wait
+	// (without blocking other tenants) until one finishes. 0: unlimited.
+	MaxConcurrency int `json:"max_concurrency,omitempty"`
+}
+
+// Config is the versioned multi-tenant QoS policy hmmd loads with
+// -qos. Like the calibration profile, Parse rejects — never loads —
+// malformed or poisoned input: a daemon must not apportion capacity
+// from a config it cannot fully trust.
+type Config struct {
+	Version int `json:"version"`
+	// Tenants is keyed by tenant name.
+	Tenants map[string]TenantSpec `json:"tenants"`
+	// Default, when present, is the policy for requests that match no
+	// configured tenant; otherwise unknown traffic gets weight 1, class
+	// best-effort, no quota.
+	Default *TenantSpec `json:"default,omitempty"`
+}
+
+// Parse decodes and validates a QoS config.
+func Parse(data []byte) (*Config, error) {
+	var c Config
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("qos: bad config JSON: %w", err)
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// Load reads and parses a config file.
+func Load(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("qos: %w", err)
+	}
+	return Parse(data)
+}
+
+// Marshal renders the config as indented JSON with a trailing newline.
+func (c *Config) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Validate re-checks a config's invariants; a config built by Parse or
+// Load has already passed, but a hand-assembled one may not have.
+func (c *Config) Validate() error { return c.validate() }
+
+func (c *Config) validate() error {
+	if c.Version != ConfigVersion {
+		return fmt.Errorf("qos: unsupported config version %d (want %d)", c.Version, ConfigVersion)
+	}
+	if len(c.Tenants) == 0 {
+		return fmt.Errorf("qos: config has no tenants")
+	}
+	seenKeys := map[string]string{}
+	for name, spec := range c.Tenants {
+		if name == "" {
+			return fmt.Errorf("qos: tenant with empty name")
+		}
+		if err := spec.validate(name); err != nil {
+			return err
+		}
+		for _, k := range spec.Keys {
+			if k == "" {
+				return fmt.Errorf("qos: tenant %q has an empty API key", name)
+			}
+			if other, dup := seenKeys[k]; dup {
+				return fmt.Errorf("qos: API key %q claimed by both %q and %q", k, other, name)
+			}
+			seenKeys[k] = name
+		}
+	}
+	if c.Default != nil {
+		if len(c.Default.Keys) > 0 {
+			return fmt.Errorf("qos: the default policy cannot carry API keys")
+		}
+		if err := c.Default.validate("default"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *TenantSpec) validate(name string) error {
+	if s.Weight != 0 && !(s.Weight > 0 && !math.IsInf(s.Weight, 0)) {
+		return fmt.Errorf("qos: tenant %q weight %g must be positive and finite", name, s.Weight)
+	}
+	if _, err := ParseClass(s.Class); err != nil {
+		return fmt.Errorf("qos: tenant %q: %w", name, err)
+	}
+	if math.IsNaN(s.Rate) || math.IsInf(s.Rate, 0) || s.Rate < 0 {
+		return fmt.Errorf("qos: tenant %q rate %g must be finite and non-negative", name, s.Rate)
+	}
+	if s.Rate > 0 && !(s.Burst > 0 && !math.IsInf(s.Burst, 0)) {
+		return fmt.Errorf("qos: tenant %q burst %g must be positive and finite when rate is set", name, s.Burst)
+	}
+	if s.Rate == 0 && (math.IsNaN(s.Burst) || math.IsInf(s.Burst, 0) || s.Burst < 0) {
+		return fmt.Errorf("qos: tenant %q burst %g must be finite and non-negative", name, s.Burst)
+	}
+	if s.MaxConcurrency < 0 {
+		return fmt.Errorf("qos: tenant %q max_concurrency %d must be non-negative", name, s.MaxConcurrency)
+	}
+	return nil
+}

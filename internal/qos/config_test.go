@@ -1,0 +1,130 @@
+package qos
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func validConfig() string {
+	return `{
+  "version": 1,
+  "tenants": {
+    "acme": {"keys": ["k-acme"], "weight": 4, "class": "interactive", "rate": 1e6, "burst": 5e6, "max_concurrency": 8},
+    "bulk": {"weight": 1, "class": "best-effort"}
+  },
+  "default": {"weight": 1, "class": "batch"}
+}`
+}
+
+func TestConfigParseValid(t *testing.T) {
+	c, err := Parse([]byte(validConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Tenants) != 2 || c.Default == nil {
+		t.Fatalf("parsed config wrong: %+v", c)
+	}
+	// Round trip: Marshal output must parse back to a valid config.
+	data, err := c.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(data); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+func TestConfigParseRejectsPoison(t *testing.T) {
+	cases := map[string]string{
+		"bad JSON":        `{`,
+		"wrong version":   `{"version": 2, "tenants": {"a": {}}}`,
+		"no tenants":      `{"version": 1, "tenants": {}}`,
+		"empty name":      `{"version": 1, "tenants": {"": {}}}`,
+		"negative weight": `{"version": 1, "tenants": {"a": {"weight": -1}}}`,
+		"unknown class":   `{"version": 1, "tenants": {"a": {"class": "vip"}}}`,
+		"negative rate":   `{"version": 1, "tenants": {"a": {"rate": -5}}}`,
+		"rate no burst":   `{"version": 1, "tenants": {"a": {"rate": 10}}}`,
+		"negative burst":  `{"version": 1, "tenants": {"a": {"burst": -1}}}`,
+		"negative conc":   `{"version": 1, "tenants": {"a": {"max_concurrency": -1}}}`,
+		"empty key":       `{"version": 1, "tenants": {"a": {"keys": [""]}}}`,
+		"duplicate key":   `{"version": 1, "tenants": {"a": {"keys": ["k"]}, "b": {"keys": ["k"]}}}`,
+		"default keys":    `{"version": 1, "tenants": {"a": {}}, "default": {"keys": ["k"]}}`,
+	}
+	for name, data := range cases {
+		if _, err := Parse([]byte(data)); err == nil {
+			t.Errorf("%s: accepted %s", name, data)
+		}
+	}
+}
+
+func TestRegistryResolution(t *testing.T) {
+	c, err := Parse([]byte(validConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry(c, time.Now)
+	if !r.Enabled() {
+		t.Fatal("registry with config not enabled")
+	}
+	if tn := r.Resolve("k-acme", ""); tn.Name != "acme" || tn.Class != Interactive || tn.Weight != 4 {
+		t.Errorf("by key: got %+v", tn)
+	}
+	if tn := r.Resolve("", "bulk"); tn.Name != "bulk" || tn.Class != BestEffort {
+		t.Errorf("by name: got %+v", tn)
+	}
+	// API key wins over a conflicting tenant header.
+	if tn := r.Resolve("k-acme", "bulk"); tn.Name != "acme" {
+		t.Errorf("key precedence: got %q", tn.Name)
+	}
+	if tn := r.Resolve("nope", "nope"); tn.Name != "default" || tn.Class != Batch {
+		t.Errorf("unknown -> default: got %+v", tn)
+	}
+	if tn := r.ByName("acme"); tn.Name != "acme" {
+		t.Errorf("ByName: got %q", tn.Name)
+	}
+	names := []string{}
+	for _, tn := range r.Tenants() {
+		names = append(names, tn.Name)
+	}
+	if strings.Join(names, ",") != "acme,bulk,default" {
+		t.Errorf("tenants = %v", names)
+	}
+	if r.Resolve("k-acme", "").Bucket == nil {
+		t.Error("acme should carry a token bucket")
+	}
+	if r.Resolve("", "bulk").Bucket != nil {
+		t.Error("bulk (rate 0) should have no bucket")
+	}
+}
+
+func TestDisabledRegistry(t *testing.T) {
+	r := NewRegistry(nil, nil)
+	if r.Enabled() {
+		t.Fatal("nil config must disable the registry")
+	}
+	if tn := r.Resolve("any", "thing"); tn != r.Default() {
+		t.Error("disabled registry must resolve everything to the default tenant")
+	}
+	if got := len(r.Tenants()); got != 1 {
+		t.Errorf("disabled registry has %d tenants, want 1", got)
+	}
+}
+
+func TestParseClass(t *testing.T) {
+	for s, want := range map[string]Class{
+		"": Batch, "batch": Batch, "interactive": Interactive,
+		"best-effort": BestEffort, "besteffort": BestEffort,
+	} {
+		got, err := ParseClass(s)
+		if err != nil || got != want {
+			t.Errorf("ParseClass(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseClass("vip"); err == nil {
+		t.Error("ParseClass accepted an unknown class")
+	}
+	if Interactive.String() != "interactive" || Class(99).String() != "unknown" {
+		t.Error("Class.String wrong")
+	}
+}

@@ -1,0 +1,42 @@
+package qos
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzQoSConfigParse asserts the parser never panics, never accepts a
+// config that fails its own validation invariants, and that everything
+// accepted round-trips: Marshal output must re-Parse cleanly and build
+// a working registry.
+func FuzzQoSConfigParse(f *testing.F) {
+	f.Add([]byte(validConfig()))
+	f.Add([]byte(`{"version": 1, "tenants": {"a": {"rate": 1, "burst": 2}}}`))
+	f.Add([]byte(`{"version": 2}`))
+	f.Add([]byte(`{"version": 1, "tenants": {"a": {"weight": -1}}}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"version": 1, "tenants": {"a": {"class": "interactive", "keys": ["x","x"]}}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Accepted configs must satisfy the invariants validation claims.
+		if c.Version != ConfigVersion || len(c.Tenants) == 0 {
+			t.Fatalf("accepted config violates invariants: %+v", c)
+		}
+		out, err := c.Marshal()
+		if err != nil {
+			t.Fatalf("accepted config failed to marshal: %v", err)
+		}
+		c2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\n%s", err, out)
+		}
+		// A registry must build without panicking and resolve something.
+		r := NewRegistry(c2, time.Now)
+		if r.Resolve("", "") == nil {
+			t.Fatal("registry resolved nil tenant")
+		}
+	})
+}

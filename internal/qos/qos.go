@@ -1,0 +1,88 @@
+// Package qos is hmmd's multi-tenant quality-of-service layer: a
+// tenant registry (API key or X-Tenant header -> weight, priority
+// class, token-bucket quota, concurrency cap), token buckets debited by
+// the planner's predicted cost, and a weighted-fair priority queue that
+// replaces the scheduler's FIFO.
+//
+// Scheduling model, in three layers:
+//
+//   - Across tenants: virtual-time weighted fair queueing. Each tenant
+//     accumulates virtual time at rate cost/weight as its jobs are
+//     dispatched; the queue always serves the backlogged tenant with the
+//     least virtual time, so over any busy interval tenant throughput
+//     converges to the weight ratio regardless of arrival rates. An
+//     idle tenant re-joins at the current global virtual time, so it
+//     cannot bank credit and starve others later.
+//
+//   - Within a tenant: strict class priority (interactive > batch >
+//     best-effort), and earliest-deadline-first within a class (jobs
+//     without a deadline come after all deadlined jobs, in FIFO order).
+//
+//   - Under overload: instead of rejecting whoever arrives next, the
+//     queue sheds the least important queued job — lowest class first,
+//     then the tenant with the deepest backlog — so a flooding
+//     best-effort tenant absorbs the 429s while paced interactive
+//     traffic keeps being admitted.
+//
+// Admission happens before a job is queued: the planner's predicted
+// run time (calibrated when a profile is loaded) debits the tenant's
+// token bucket, and a job whose predicted time already exceeds its
+// deadline is refused up front rather than executed to certain failure.
+package qos
+
+import "errors"
+
+// Typed admission errors; the server maps them to HTTP statuses.
+var (
+	// ErrQuota reports that the tenant's token bucket is in debt; the
+	// caller should answer 429 with a Retry-After derived from the debt.
+	ErrQuota = errors.New("qos: tenant rate quota exhausted")
+	// ErrShed reports that a queued job was evicted (or an arriving one
+	// refused) to make room for more important work under overload.
+	ErrShed = errors.New("qos: shed under overload")
+	// ErrInfeasible reports that the cost model predicts the job cannot
+	// finish inside its deadline, so it was refused without running.
+	ErrInfeasible = errors.New("qos: predicted time exceeds deadline")
+)
+
+// Class is a priority class. Lower values are more important.
+type Class int
+
+const (
+	// Interactive is latency-sensitive traffic: served first.
+	Interactive Class = iota
+	// Batch is the default class for throughput-oriented work.
+	Batch
+	// BestEffort is shed first under overload.
+	BestEffort
+)
+
+var classNames = map[Class]string{
+	Interactive: "interactive",
+	Batch:       "batch",
+	BestEffort:  "best-effort",
+}
+
+// String returns the config-file spelling of the class.
+func (c Class) String() string {
+	if s, ok := classNames[c]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// ParseClass parses a config-file class name. The empty string is
+// Batch, the default.
+func ParseClass(s string) (Class, error) {
+	switch s {
+	case "":
+		return Batch, nil
+	case "interactive":
+		return Interactive, nil
+	case "batch":
+		return Batch, nil
+	case "best-effort", "besteffort":
+		return BestEffort, nil
+	}
+	return 0, errors.New("qos: unknown class " + `"` + s + `" (want interactive, batch or best-effort)`)
+}

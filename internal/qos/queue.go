@@ -1,0 +1,261 @@
+package qos
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrFull reports that the queue is at capacity and the arriving item
+// is itself the least important work present, so nothing was evicted.
+var ErrFull = errors.New("qos: queue full")
+
+// Item is one queued unit of work.
+type Item struct {
+	Tenant *Tenant
+	Class  Class
+	// Deadline is the EDF ordering key within a class (simulated-time
+	// budget); 0 means none and sorts after every deadlined item.
+	Deadline float64
+	// Cost is the predicted service (simulated time): the virtual-time
+	// advance charged against the tenant's weight at dispatch.
+	Cost    float64
+	Payload any
+
+	seq uint64 // FIFO tie-break, assigned by Push
+}
+
+// edfKey maps "no deadline" after every real deadline.
+func (it *Item) edfKey() float64 {
+	if it.Deadline <= 0 {
+		return math.Inf(1)
+	}
+	return it.Deadline
+}
+
+// less orders items within one (tenant, class) flow: EDF first, then
+// arrival.
+func (it *Item) less(other *Item) bool {
+	if a, b := it.edfKey(), other.edfKey(); a != b {
+		return a < b
+	}
+	return it.seq < other.seq
+}
+
+// flowKey identifies one tenant's backlog within one class tier.
+type flowKey struct {
+	tenant *Tenant
+	class  Class
+}
+
+// flow is one (tenant, class) backlog plus its fair-queueing state.
+type flow struct {
+	key   flowKey
+	items []*Item // sorted by Item.less
+	vtime float64 // accumulated service / weight within this class tier
+}
+
+// Queue is the weighted-fair priority queue: strict priority across
+// the classes (interactive > batch > best-effort), per-tenant
+// virtual-time weighted fair queueing within each class, and EDF
+// ordering within one tenant's class backlog. It is NOT safe for
+// concurrent use: the scheduler guards it with its own mutex so queue
+// transitions and its condition variable stay atomic.
+type Queue struct {
+	cap   int
+	size  int
+	seq   uint64
+	vtime [BestEffort + 1]float64 // per-class global virtual time
+	flows map[flowKey]*flow
+
+	queued   map[*Tenant]int // queued items per tenant, all classes
+	inflight map[*Tenant]int // dispatched, unreleased items per tenant
+}
+
+// NewQueue returns an empty queue holding at most capacity items
+// (minimum 1).
+func NewQueue(capacity int) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Queue{
+		cap:      capacity,
+		flows:    map[flowKey]*flow{},
+		queued:   map[*Tenant]int{},
+		inflight: map[*Tenant]int{},
+	}
+}
+
+// Len reports the number of queued (not in-flight) items.
+func (q *Queue) Len() int { return q.size }
+
+// flowFor returns (creating if needed) the (tenant, class) flow. A
+// flow that went idle re-joins at its tier's current virtual time, so
+// idle periods never bank credit.
+func (q *Queue) flowFor(t *Tenant, c Class) *flow {
+	k := flowKey{tenant: t, class: c}
+	f, ok := q.flows[k]
+	if !ok {
+		f = &flow{key: k, vtime: q.vtime[c]}
+		q.flows[k] = f
+		return f
+	}
+	if len(f.items) == 0 && f.vtime < q.vtime[c] {
+		f.vtime = q.vtime[c]
+	}
+	return f
+}
+
+// Push enqueues the item. When the queue is full and shed is true, the
+// least important queued item — lowest class first, then the tenant
+// with the deepest backlog, then latest deadline, then newest — is
+// evicted and returned for the caller to fail; if the arriving item is
+// itself the least important, Push returns ErrFull and queues nothing.
+// With shed false a full queue always answers ErrFull (the pre-QoS
+// behavior).
+func (q *Queue) Push(it *Item, shed bool) (evicted *Item, err error) {
+	if it.Class < Interactive || it.Class > BestEffort {
+		it.Class = Batch
+	}
+	it.seq = q.seq
+	q.seq++
+	if q.size >= q.cap {
+		if !shed {
+			return nil, ErrFull
+		}
+		victim := it
+		var victimFlow *flow
+		for _, f := range q.flows {
+			for _, cand := range f.items {
+				if shedBefore(victim, q.backlog(victim), cand, q.backlog(cand)) {
+					victim, victimFlow = cand, f
+				}
+			}
+		}
+		if victimFlow == nil {
+			return nil, ErrFull
+		}
+		q.remove(victimFlow, victim)
+		evicted = victim
+	}
+	f := q.flowFor(it.Tenant, it.Class)
+	i := sort.Search(len(f.items), func(i int) bool { return it.less(f.items[i]) })
+	f.items = append(f.items, nil)
+	copy(f.items[i+1:], f.items[i:])
+	f.items[i] = it
+	q.size++
+	q.queued[it.Tenant]++
+	return evicted, nil
+}
+
+// backlog reports how many items the item's tenant has queued across
+// all classes.
+func (q *Queue) backlog(it *Item) int { return q.queued[it.Tenant] }
+
+// shedBefore reports whether cand is less important than the current
+// victim: lower class first; within a class the tenant with the deeper
+// backlog loses (a flooder sheds before a paced tenant of the same
+// class); then the later deadline; then the newer arrival. Arrival
+// order last means that on full ties the incoming item — the newest —
+// stays the victim, preserving reject-the-arrival semantics.
+func shedBefore(victim *Item, victimBacklog int, cand *Item, candBacklog int) bool {
+	if cand.Class != victim.Class {
+		return cand.Class > victim.Class
+	}
+	if candBacklog != victimBacklog {
+		return candBacklog > victimBacklog
+	}
+	if a, b := cand.edfKey(), victim.edfKey(); a != b {
+		return a > b
+	}
+	return cand.seq > victim.seq
+}
+
+// remove deletes one item from a flow.
+func (q *Queue) remove(f *flow, it *Item) {
+	for i, cand := range f.items {
+		if cand == it {
+			f.items = append(f.items[:i], f.items[i+1:]...)
+			q.size--
+			q.queued[it.Tenant]--
+			if q.queued[it.Tenant] == 0 {
+				delete(q.queued, it.Tenant)
+			}
+			return
+		}
+	}
+}
+
+// Pop dispatches the next item: the highest backlogged class tier goes
+// first; within the tier, among tenants under their concurrency cap,
+// the flow with the least virtual time (ties break by tenant name for
+// determinism); within the flow, EDF then arrival. The tenant is
+// charged cost/weight of virtual time in that tier and one in-flight
+// slot; the caller must Release the tenant when the work finishes.
+// Returns nil when nothing is eligible (empty, or every backlogged
+// tenant is at its cap).
+func (q *Queue) Pop() *Item {
+	for class := Interactive; class <= BestEffort; class++ {
+		var best *flow
+		for _, f := range q.flows {
+			if f.key.class != class || len(f.items) == 0 {
+				continue
+			}
+			t := f.key.tenant
+			if c := t.MaxConcurrency; c > 0 && q.inflight[t] >= c {
+				continue
+			}
+			if best == nil || f.vtime < best.vtime ||
+				(f.vtime == best.vtime && t.Name < best.key.tenant.Name) {
+				best = f
+			}
+		}
+		if best == nil {
+			continue
+		}
+		it := best.items[0]
+		best.items = best.items[1:]
+		q.size--
+		q.queued[it.Tenant]--
+		if q.queued[it.Tenant] == 0 {
+			delete(q.queued, it.Tenant)
+		}
+		if best.vtime > q.vtime[class] {
+			q.vtime[class] = best.vtime
+		}
+		w := it.Tenant.Weight
+		if w <= 0 {
+			w = 1
+		}
+		best.vtime += it.Cost / w
+		q.inflight[it.Tenant]++
+		return it
+	}
+	return nil
+}
+
+// Release returns one of the tenant's in-flight slots.
+func (q *Queue) Release(t *Tenant) {
+	if q.inflight[t] > 0 {
+		q.inflight[t]--
+		if q.inflight[t] == 0 {
+			delete(q.inflight, t)
+		}
+	}
+}
+
+// Depths reports [queued, in-flight] counts per tenant name.
+func (q *Queue) Depths() map[string][2]int {
+	out := make(map[string][2]int, len(q.queued)+len(q.inflight))
+	for t, n := range q.queued {
+		d := out[t.Name]
+		d[0] += n
+		out[t.Name] = d
+	}
+	for t, n := range q.inflight {
+		d := out[t.Name]
+		d[1] += n
+		out[t.Name] = d
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package qos
+
+import (
+	"testing"
+)
+
+func tenant(name string, weight float64, class Class) *Tenant {
+	return &Tenant{Name: name, Weight: weight, Class: class}
+}
+
+func push(t *testing.T, q *Queue, tn *Tenant, class Class, deadline, cost float64, label string) {
+	t.Helper()
+	if _, err := q.Push(&Item{Tenant: tn, Class: class, Deadline: deadline, Cost: cost, Payload: label}, true); err != nil {
+		t.Fatalf("push %s: %v", label, err)
+	}
+}
+
+// drain pops every item, releasing each immediately (no concurrency
+// caps in play), and returns the payload labels in dispatch order.
+func drain(q *Queue) []string {
+	var out []string
+	for {
+		it := q.Pop()
+		if it == nil {
+			return out
+		}
+		q.Release(it.Tenant)
+		out = append(out, it.Payload.(string))
+	}
+}
+
+// TestWFQWeightedShare pins the fairness property: with tenants at
+// weights 2:1 and equal-cost backlogs, dispatches interleave so that
+// after any prefix the served-work ratio tracks the weights.
+func TestWFQWeightedShare(t *testing.T) {
+	q := NewQueue(100)
+	heavy := tenant("heavy", 2, Batch)
+	light := tenant("light", 1, Batch)
+	for i := 0; i < 12; i++ {
+		push(t, q, heavy, Batch, 0, 1, "H")
+		push(t, q, light, Batch, 0, 1, "L")
+	}
+	order := drain(q)
+	if len(order) != 24 {
+		t.Fatalf("drained %d items, want 24", len(order))
+	}
+	// Over the first 18 dispatches (both tenants still backlogged) the
+	// 2x tenant must get 2/3 of the service, +-1 for phase.
+	h := 0
+	for _, s := range order[:18] {
+		if s == "H" {
+			h++
+		}
+	}
+	if h < 11 || h > 13 {
+		t.Fatalf("heavy got %d of first 18 dispatches, want ~12 (order %v)", h, order)
+	}
+}
+
+// TestWFQCostWeighting pins that virtual time advances by cost/weight:
+// a tenant submitting double-cost jobs at equal weight gets half the
+// dispatch slots.
+func TestWFQCostWeighting(t *testing.T) {
+	q := NewQueue(100)
+	big := tenant("big", 1, Batch)
+	small := tenant("small", 1, Batch)
+	for i := 0; i < 8; i++ {
+		push(t, q, big, Batch, 0, 2, "B")
+	}
+	for i := 0; i < 16; i++ {
+		push(t, q, small, Batch, 0, 1, "S")
+	}
+	order := drain(q)
+	b := 0
+	for _, s := range order[:12] {
+		if s == "B" {
+			b++
+		}
+	}
+	// Equal virtual rates: 12 dispatches split ~4 big (cost 2) to ~8
+	// small (cost 1).
+	if b < 3 || b > 5 {
+		t.Fatalf("big got %d of first 12 dispatches, want ~4 (order %v)", b, order)
+	}
+}
+
+// TestClassPriorityWithinTenant pins that one tenant's backlog serves
+// interactive before batch before best-effort regardless of arrival
+// order, and EDF within a class (no deadline last).
+func TestClassPriorityWithinTenant(t *testing.T) {
+	q := NewQueue(100)
+	tn := tenant("t", 1, Batch)
+	push(t, q, tn, BestEffort, 0, 1, "be")
+	push(t, q, tn, Batch, 0, 1, "batch-none")
+	push(t, q, tn, Batch, 500, 1, "batch-late")
+	push(t, q, tn, Batch, 100, 1, "batch-early")
+	push(t, q, tn, Interactive, 0, 1, "inter")
+	got := drain(q)
+	want := []string{"inter", "batch-early", "batch-late", "batch-none", "be"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestIdleTenantCannotBankCredit pins the virtual-time re-join rule: a
+// tenant idle while another consumed service re-enters at the current
+// virtual time and shares from there, rather than monopolizing the
+// queue to "catch up".
+func TestIdleTenantCannotBankCredit(t *testing.T) {
+	q := NewQueue(100)
+	busy := tenant("busy", 1, Batch)
+	idle := tenant("idle", 1, Batch)
+	for i := 0; i < 10; i++ {
+		push(t, q, busy, Batch, 0, 1, "B")
+	}
+	for i := 0; i < 5; i++ {
+		if q.Pop() == nil {
+			t.Fatal("unexpected empty queue")
+		}
+		q.Release(busy)
+	}
+	// idle arrives late; it must interleave from now on, not drain its
+	// whole backlog first.
+	for i := 0; i < 5; i++ {
+		push(t, q, idle, Batch, 0, 1, "I")
+	}
+	order := drain(q)
+	prefix := order[:4]
+	i := 0
+	for _, s := range prefix {
+		if s == "I" {
+			i++
+		}
+	}
+	if i > 3 {
+		t.Fatalf("idle tenant monopolized after re-join: %v", order)
+	}
+}
+
+// TestConcurrencyCapSkipsTenant pins that a tenant at its in-flight cap
+// is passed over without blocking other tenants, and becomes eligible
+// again on Release.
+func TestConcurrencyCapSkipsTenant(t *testing.T) {
+	q := NewQueue(100)
+	capped := tenant("capped", 10, Interactive)
+	capped.MaxConcurrency = 1
+	other := tenant("other", 1, BestEffort)
+	push(t, q, capped, Interactive, 0, 1, "c1")
+	push(t, q, capped, Interactive, 0, 1, "c2")
+	push(t, q, other, BestEffort, 0, 1, "o1")
+
+	if it := q.Pop(); it.Payload.(string) != "c1" {
+		t.Fatalf("first pop %v, want c1", it.Payload)
+	}
+	// capped is at its limit: the next dispatch must be other's item
+	// even though capped has higher weight and class.
+	if it := q.Pop(); it.Payload.(string) != "o1" {
+		t.Fatalf("second pop %v, want o1 (capped tenant at limit)", it.Payload)
+	}
+	if it := q.Pop(); it != nil {
+		t.Fatalf("third pop %v, want nil (capped tenant still at limit)", it.Payload)
+	}
+	q.Release(capped)
+	if it := q.Pop(); it == nil || it.Payload.(string) != "c2" {
+		t.Fatalf("post-release pop = %v, want c2", it)
+	}
+}
+
+// TestShedPolicy pins the overload behavior: the least important
+// queued item is evicted — best-effort before batch before interactive,
+// deepest backlog first within a class — and an arriving item that is
+// itself least important is refused without evicting anyone.
+func TestShedPolicy(t *testing.T) {
+	q := NewQueue(3)
+	flood := tenant("flood", 1, BestEffort)
+	paced := tenant("paced", 1, Interactive)
+	push(t, q, flood, BestEffort, 0, 1, "f1")
+	push(t, q, flood, BestEffort, 0, 1, "f2")
+	push(t, q, flood, BestEffort, 0, 1, "f3")
+
+	// Interactive arrival on a full queue evicts a flooder item (the
+	// newest of the deepest backlog).
+	ev, err := q.Push(&Item{Tenant: paced, Class: Interactive, Cost: 1, Payload: "p1"}, true)
+	if err != nil {
+		t.Fatalf("interactive push on full queue rejected: %v", err)
+	}
+	if ev == nil || ev.Payload.(string) != "f3" {
+		t.Fatalf("evicted %v, want f3", ev)
+	}
+
+	// A best-effort arrival ties with queued best-effort work on class;
+	// its backlog (including itself) is deepest, so it is refused.
+	if _, err := q.Push(&Item{Tenant: flood, Class: BestEffort, Cost: 1, Payload: "f4"}, true); err == nil {
+		t.Fatal("flooder arrival on full queue was admitted")
+	}
+
+	// With shedding disabled (no QoS config) a full queue refuses every
+	// arrival, interactive included.
+	if _, err := q.Push(&Item{Tenant: paced, Class: Interactive, Cost: 1, Payload: "p2"}, false); err == nil {
+		t.Fatal("shed=false admitted on a full queue")
+	}
+
+	// The interactive item must dispatch before the surviving flood.
+	if it := q.Pop(); it.Payload.(string) != "p1" {
+		t.Fatalf("first pop %v, want p1", it.Payload)
+	}
+}
+
+func TestQueueDepths(t *testing.T) {
+	q := NewQueue(10)
+	a := tenant("a", 1, Batch)
+	push(t, q, a, Batch, 0, 1, "x")
+	push(t, q, a, Batch, 0, 1, "y")
+	if q.Pop() == nil {
+		t.Fatal("pop failed")
+	}
+	d := q.Depths()
+	if d["a"] != [2]int{1, 1} {
+		t.Fatalf("depths = %v, want a:{1,1}", d)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("len = %d, want 1", q.Len())
+	}
+}

@@ -1,0 +1,150 @@
+package qos
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Tenant is one resolved tenant: immutable policy plus live counters.
+// The scheduler owns queue/in-flight state; the counters here are the
+// per-tenant slice of the hmmd_qos_* metrics family.
+type Tenant struct {
+	Name           string
+	Weight         float64
+	Class          Class
+	MaxConcurrency int
+	Bucket         *Bucket // nil: no rate quota
+
+	// Counters, incremented by the scheduler.
+	Jobs         atomic.Int64 // completed jobs
+	Sheds        atomic.Int64 // jobs shed (evicted or refused) under overload
+	QuotaRejects atomic.Int64 // jobs refused by the token bucket
+	Infeasible   atomic.Int64 // jobs refused by deadline admission
+}
+
+// TenantStats is one tenant's metrics snapshot.
+type TenantStats struct {
+	Name         string
+	Class        string
+	Queued       int // jobs waiting in the weighted-fair queue
+	Inflight     int // jobs executing
+	Jobs         int64
+	Sheds        int64
+	QuotaRejects int64
+	Infeasible   int64
+	Tokens       float64 // available bucket balance (0 when no quota)
+	Debt         float64 // outstanding bucket debt (0 when no quota)
+}
+
+// snapshot fills the counter and bucket fields; queue state is the
+// scheduler's to add.
+func (t *Tenant) snapshot() TenantStats {
+	s := TenantStats{
+		Name: t.Name, Class: t.Class.String(),
+		Jobs: t.Jobs.Load(), Sheds: t.Sheds.Load(),
+		QuotaRejects: t.QuotaRejects.Load(), Infeasible: t.Infeasible.Load(),
+	}
+	if t.Bucket != nil {
+		s.Tokens, s.Debt = t.Bucket.Balance()
+	}
+	return s
+}
+
+// Registry resolves request credentials to tenants. It is immutable
+// after construction; the tenants it hands out carry the live state.
+type Registry struct {
+	enabled bool
+	def     *Tenant
+	byKey   map[string]*Tenant // API key -> tenant
+	byName  map[string]*Tenant // tenant name -> tenant
+	all     []*Tenant          // sorted by name, default included
+}
+
+// NewRegistry builds a registry from a validated config. A nil config
+// returns a disabled registry: every request resolves to one default
+// tenant with no quota, which makes the weighted-fair queue degenerate
+// to the plain FIFO hmmd always had.
+func NewRegistry(cfg *Config, now func() time.Time) *Registry {
+	if cfg == nil {
+		def := &Tenant{Name: "default", Weight: 1, Class: Batch}
+		return &Registry{def: def, byKey: map[string]*Tenant{}, byName: map[string]*Tenant{}, all: []*Tenant{def}}
+	}
+	r := &Registry{enabled: true, byKey: map[string]*Tenant{}, byName: map[string]*Tenant{}}
+	build := func(name string, spec TenantSpec) *Tenant {
+		t := &Tenant{Name: name, Weight: spec.Weight, MaxConcurrency: spec.MaxConcurrency}
+		if t.Weight == 0 {
+			t.Weight = 1
+		}
+		t.Class, _ = ParseClass(spec.Class) // validated at Parse time
+		if spec.Rate > 0 {
+			t.Bucket = NewBucket(spec.Rate, spec.Burst, now)
+		}
+		return t
+	}
+	for name, spec := range cfg.Tenants {
+		t := build(name, spec)
+		r.byName[name] = t
+		r.all = append(r.all, t)
+		for _, k := range spec.Keys {
+			r.byKey[k] = t
+		}
+	}
+	if cfg.Default != nil {
+		r.def = build("default", *cfg.Default)
+	} else {
+		r.def = &Tenant{Name: "default", Weight: 1, Class: BestEffort}
+	}
+	if _, taken := r.byName["default"]; !taken {
+		r.byName["default"] = r.def
+		r.all = append(r.all, r.def)
+	}
+	sort.Slice(r.all, func(i, j int) bool { return r.all[i].Name < r.all[j].Name })
+	return r
+}
+
+// Enabled reports whether a config is loaded. A disabled registry still
+// resolves everything to the default tenant so the scheduler has one
+// code path.
+func (r *Registry) Enabled() bool { return r.enabled }
+
+// Default returns the policy for unmatched traffic.
+func (r *Registry) Default() *Tenant { return r.def }
+
+// Resolve maps request credentials to a tenant: the API key first, the
+// tenant-name header second, the default policy last.
+func (r *Registry) Resolve(apiKey, tenantName string) *Tenant {
+	if apiKey != "" {
+		if t, ok := r.byKey[apiKey]; ok {
+			return t
+		}
+	}
+	if tenantName != "" {
+		if t, ok := r.byName[tenantName]; ok {
+			return t
+		}
+	}
+	return r.def
+}
+
+// ByName resolves a tenant name (cluster job headers carry names, not
+// keys); unknown names get the default policy.
+func (r *Registry) ByName(name string) *Tenant {
+	if t, ok := r.byName[name]; ok {
+		return t
+	}
+	return r.def
+}
+
+// Tenants returns every tenant (default included), sorted by name.
+func (r *Registry) Tenants() []*Tenant { return r.all }
+
+// Stats snapshots every tenant's counters and bucket state, sorted by
+// name. Queue depths are zero; the scheduler overlays them.
+func (r *Registry) Stats() []TenantStats {
+	out := make([]TenantStats, 0, len(r.all))
+	for _, t := range r.all {
+		out = append(out, t.snapshot())
+	}
+	return out
+}

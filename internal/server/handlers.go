@@ -16,6 +16,7 @@ import (
 	"hypermm/internal/calibrate"
 	"hypermm/internal/cluster"
 	"hypermm/internal/obs"
+	"hypermm/internal/qos"
 )
 
 // Config sizes the serving subsystem.
@@ -36,6 +37,14 @@ type Config struct {
 	// profile (internal/calibrate): the planner predicts with it, plans
 	// are marked calibrated, and GET /v1/calibration serves it.
 	Calibration *calibrate.Profile
+
+	// QoS, when non-nil, is a validated multi-tenant policy
+	// (internal/qos): requests resolve to tenants by API key or
+	// X-Tenant header, the scheduler queue becomes weighted-fair with
+	// class priorities, token buckets meter admission by predicted
+	// cost, and /metrics gains the hmmd_qos_* family. Nil serves every
+	// request as one default tenant with the pre-QoS FIFO semantics.
+	QoS *qos.Config
 
 	// Cluster, when non-nil, makes this server a coordinator front-end:
 	// non-trace jobs are routed to registered cluster workers instead of
@@ -100,6 +109,7 @@ type Server struct {
 	pool    *hypermm.MachinePool // nil when pooling is disabled
 	cluster *cluster.Coordinator // nil when serving standalone
 	tracer  *obs.Tracer          // nil when request tracing is disabled
+	qosReg  *qos.Registry        // never nil; disabled without Config.QoS
 }
 
 // New builds a ready-to-serve Server. A Config.Calibration profile
@@ -132,6 +142,12 @@ func New(cfg Config) (*Server, error) {
 	sched := NewScheduler(cfg.Workers, cfg.QueueDepth, pool, m)
 	sched.cluster = cfg.Cluster
 	sched.tracer = tracer
+	if cfg.QoS != nil {
+		if err := cfg.QoS.Validate(); err != nil {
+			return nil, fmt.Errorf("server: qos config rejected: %w", err)
+		}
+		sched.reg = qos.NewRegistry(cfg.QoS, nil)
+	}
 	return &Server{
 		cfg:     cfg,
 		planner: planner,
@@ -140,6 +156,7 @@ func New(cfg Config) (*Server, error) {
 		pool:    pool,
 		cluster: cfg.Cluster,
 		tracer:  tracer,
+		qosReg:  sched.reg,
 	}, nil
 }
 
@@ -149,6 +166,15 @@ func New(cfg Config) (*Server, error) {
 // the metrics; one the cost model refuses (the planner can be stricter
 // than the emulator) still executes, under a bare plan.
 func (s *Server) Execute(ctx context.Context, alg hypermm.Algorithm, cfg hypermm.Config, A, B *hypermm.Matrix) (*hypermm.Result, error) {
+	return s.ExecuteMeta(ctx, cluster.JobMeta{}, alg, cfg, A, B)
+}
+
+// ExecuteMeta is Execute with QoS attribution from the wire: the job is
+// accounted to the named tenant (or this worker's default) and queued
+// at the carried class, but marked pre-admitted — the coordinator that
+// accepted the request already debited the tenant's token bucket, and
+// a forwarded job must not pay twice.
+func (s *Server) ExecuteMeta(ctx context.Context, meta cluster.JobMeta, alg hypermm.Algorithm, cfg hypermm.Config, A, B *hypermm.Matrix) (*hypermm.Result, error) {
 	plan, err := s.planner.Plan(PlanRequest{
 		N: float64(A.Rows), P: float64(cfg.P),
 		Ts: cfg.Ts, Tw: cfg.Tw, Tc: cfg.Tc, Ports: cfg.Ports, Alg: &alg,
@@ -156,7 +182,19 @@ func (s *Server) Execute(ctx context.Context, alg hypermm.Algorithm, cfg hypermm
 	if err != nil {
 		plan = &Plan{Algorithm: alg, AlgorithmName: alg.Name()}
 	}
-	jr, err := s.sched.Submit(ctx, Job{Plan: plan, Cfg: cfg, A: A, B: B})
+	job := Job{Plan: plan, Cfg: cfg, A: A, B: B, PreAdmitted: true}
+	job.Tenant = s.qosReg.Default()
+	if meta.Tenant != "" {
+		if t := s.qosReg.ByName(meta.Tenant); t != nil {
+			job.Tenant = t
+		}
+	}
+	job.Class = job.Tenant.Class
+	if c, cerr := qos.ParseClass(meta.Class); cerr == nil && meta.Class != "" {
+		job.Class = c
+	}
+	job.EDFDeadline = cfg.Deadline
+	jr, err := s.sched.Submit(ctx, job)
 	if err != nil {
 		return nil, err
 	}
@@ -202,6 +240,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/plan", s.handlePlan)
 	mux.HandleFunc("/v1/regionmap", s.handleRegionMap)
 	mux.HandleFunc("/v1/calibration", s.handleCalibration)
+	mux.HandleFunc("/v1/qos", s.handleQoS)
 	mux.HandleFunc("/v1/trace/", s.handleTrace)
 	mux.HandleFunc("/v1/version", s.handleVersion)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -269,6 +308,10 @@ type MatmulRequest struct {
 	Deadline  float64    `json:"deadline"` // simulated-time budget, 0 = none
 	Fault     *FaultSpec `json:"fault,omitempty"`
 	ReturnC   bool       `json:"return_matrix"`
+	// Class optionally demotes this request below its tenant's default
+	// priority class ("interactive", "batch", "best-effort"); claiming a
+	// class above the tenant's own is a 400.
+	Class string `json:"class,omitempty"`
 }
 
 // MatmulResponse is the POST /v1/matmul reply.
@@ -309,6 +352,20 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {
+	// Backpressure rejections carry a drain estimate; surface it as the
+	// standard Retry-After header (whole seconds, at least 1) so clients
+	// can pace instead of hammering.
+	var ra *RetryAfterError
+	if errors.As(err, &ra) {
+		secs := int(ra.After / time.Second)
+		if ra.After%time.Second != 0 {
+			secs++
+		}
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
 	writeJSON(w, status, apiError{Error: err.Error()})
 }
 
@@ -317,6 +374,10 @@ func errStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrSaturated):
 		return http.StatusTooManyRequests // 429: admission control
+	case errors.Is(err, ErrQuota), errors.Is(err, ErrShed):
+		return http.StatusTooManyRequests // 429: tenant over quota / shed
+	case errors.Is(err, ErrInfeasible):
+		return http.StatusGatewayTimeout // 504: predicted to miss its deadline
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable // 503: shutting down
 	case errors.Is(err, cluster.ErrDraining), errors.Is(err, cluster.ErrNoWorkers):
@@ -406,6 +467,36 @@ func (s *Server) handleMatmul(w http.ResponseWriter, r *http.Request) {
 	span.Set(obs.String("algorithm", plan.AlgorithmName),
 		obs.Int("n", req.N), obs.Int("p", req.P), obs.Bool("auto", plan.Auto))
 
+	// Tenant resolution and deadline admission. The tenant's class is a
+	// ceiling: a request may demote itself (an interactive tenant running
+	// a backfill as best-effort) but never claim a class above its own.
+	tenant := s.qosReg.Resolve(r.Header.Get("X-API-Key"), r.Header.Get("X-Tenant"))
+	class := tenant.Class
+	if req.Class != "" {
+		c, cerr := qos.ParseClass(req.Class)
+		if cerr != nil {
+			writeErr(w, http.StatusBadRequest, cerr)
+			return
+		}
+		if c < tenant.Class {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("class %q above tenant %q ceiling %q", c.String(), tenant.Name, tenant.Class.String()))
+			return
+		}
+		class = c
+	}
+	span.Set(obs.String("tenant", tenant.Name), obs.String("class", class.String()))
+	if s.qosReg.Enabled() && req.Deadline > 0 && plan.PredictedTime > req.Deadline {
+		// The cost model (calibrated when a profile is loaded) says this
+		// job cannot make its own deadline: refuse it before it consumes
+		// a slot and times out anyway.
+		tenant.Infeasible.Add(1)
+		outcome = "infeasible"
+		writeErr(w, errStatus(ErrInfeasible), fmt.Errorf("%w: predicted %g > deadline %g",
+			ErrInfeasible, plan.PredictedTime, req.Deadline))
+		return
+	}
+
 	// Request-scoped arena: seeded operands are built on pooled slabs
 	// and returned when the request is done, so steady-state serving
 	// reuses the same few big buffers instead of churning the GC. The
@@ -431,6 +522,8 @@ func (s *Server) handleMatmul(w http.ResponseWriter, r *http.Request) {
 			Faults: req.Fault.plan(), Deadline: req.Deadline,
 		},
 		A: A, B: B, Trace: req.Trace, Verify: req.Verify,
+		Tenant: tenant, Class: class,
+		EDFDeadline: req.Deadline, Cost: plan.PredictedTime,
 	}
 	jr, err := s.sched.Submit(ctx, job)
 	if err != nil {
@@ -443,6 +536,7 @@ func (s *Server) handleMatmul(w http.ResponseWriter, r *http.Request) {
 		outcome = errKind(err)
 		s.cfg.Log.Warn("matmul failed",
 			"trace_id", span.TraceID(), "algorithm", plan.AlgorithmName,
+			"tenant", tenant.Name, "class", class.String(),
 			"n", req.N, "p", req.P, "outcome", outcome, "error", err.Error())
 		writeErr(w, errStatus(err), err)
 		return
@@ -450,6 +544,7 @@ func (s *Server) handleMatmul(w http.ResponseWriter, r *http.Request) {
 	outcome = "ok"
 	s.cfg.Log.Info("matmul served",
 		"trace_id", span.TraceID(), "algorithm", plan.AlgorithmName,
+		"tenant", tenant.Name, "class", class.String(),
 		"n", req.N, "p", req.P, "outcome", outcome,
 		"wall_ms", float64(jr.Wall.Microseconds())/1000, "ratio", jr.Ratio)
 	if jr.Res != nil {
@@ -598,6 +693,24 @@ func (s *Server) handleCalibration(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.cfg.Calibration)
 }
 
+// handleQoS serves the loaded QoS policy plus live per-tenant stats, or
+// 404 when the daemon serves without one.
+func (s *Server) handleQoS(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	if s.cfg.QoS == nil {
+		writeErr(w, http.StatusNotFound, errors.New("no QoS policy loaded (start hmmd with -qos)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Config  *qos.Config       `json:"config"`
+		Tenants []qos.TenantStats `json:"tenants"`
+	}{s.cfg.QoS, s.sched.QoSStats()})
+}
+
 // handleTrace serves one recorded request trace. The default form is
 // the Chrome trace-event JSON (load it in Perfetto or chrome://tracing)
 // with server spans and, for traced runs, the simulated per-node
@@ -658,7 +771,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		cl = &st
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	fmt.Fprint(w, s.metrics.Render(hits, misses, entries, s.PoolStats(), cl))
+	var qs []qos.TenantStats
+	if s.qosReg.Enabled() {
+		qs = s.sched.QoSStats()
+	}
+	fmt.Fprint(w, s.metrics.Render(hits, misses, entries, s.PoolStats(), cl, qs))
 }
 
 func parsePortsDefault(s string) (hypermm.PortModel, error) {

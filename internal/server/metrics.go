@@ -10,6 +10,7 @@ import (
 
 	"hypermm"
 	"hypermm/internal/cluster"
+	"hypermm/internal/qos"
 )
 
 // Metrics is the hmmd observability registry. It is hand-rolled — the
@@ -137,10 +138,12 @@ func (m *Metrics) LatencyQuantile(q float64) float64 {
 }
 
 // Render writes the Prometheus text exposition. The cache counters
-// come from the planner, the machine-pool counters from the pool, and
-// the cluster family from the coordinator (cl nil when serving
-// standalone), so the registry stays a passive sink.
-func (m *Metrics) Render(cacheHits, cacheMisses, cacheEntries int64, pool hypermm.PoolStats, cl *cluster.Stats) string {
+// come from the planner, the machine-pool counters from the pool, the
+// cluster family from the coordinator (cl nil when serving standalone),
+// and the hmmd_qos_* family from the scheduler's tenant registry (qs
+// nil when no QoS policy is loaded), so the registry stays a passive
+// sink.
+func (m *Metrics) Render(cacheHits, cacheMisses, cacheEntries int64, pool hypermm.PoolStats, cl *cluster.Stats, qs []qos.TenantStats) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var sb strings.Builder
@@ -197,6 +200,37 @@ func (m *Metrics) Render(cacheHits, cacheMisses, cacheEntries int64, pool hyperm
 			}
 			fmt.Fprintf(&sb, "hmmd_cluster_worker_breaker_open{worker=%q} %d\n", w.Name, open)
 		}
+	}
+
+	if len(qs) > 0 {
+		qosGauge := func(name, help string, val func(qos.TenantStats) string) {
+			fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+			for _, t := range qs {
+				fmt.Fprintf(&sb, "%s{tenant=%q} %s\n", name, t.Name, val(t))
+			}
+		}
+		qosCounter := func(name, help string, val func(qos.TenantStats) int64) {
+			fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+			for _, t := range qs {
+				fmt.Fprintf(&sb, "%s{tenant=%q} %d\n", name, t.Name, val(t))
+			}
+		}
+		qosGauge("hmmd_qos_queue_depth", "Queued jobs by tenant.",
+			func(t qos.TenantStats) string { return strconv.Itoa(t.Queued) })
+		qosGauge("hmmd_qos_inflight", "Executing jobs by tenant.",
+			func(t qos.TenantStats) string { return strconv.Itoa(t.Inflight) })
+		qosCounter("hmmd_qos_jobs_total", "Completed jobs by tenant.",
+			func(t qos.TenantStats) int64 { return t.Jobs })
+		qosCounter("hmmd_qos_sheds_total", "Queued jobs evicted under overload by tenant.",
+			func(t qos.TenantStats) int64 { return t.Sheds })
+		qosCounter("hmmd_qos_quota_rejects_total", "Jobs refused on an exhausted token bucket by tenant.",
+			func(t qos.TenantStats) int64 { return t.QuotaRejects })
+		qosCounter("hmmd_qos_infeasible_total", "Jobs refused because predicted time exceeded their deadline, by tenant.",
+			func(t qos.TenantStats) int64 { return t.Infeasible })
+		qosGauge("hmmd_qos_tokens", "Token-bucket balance in predicted-cost units by tenant.",
+			func(t qos.TenantStats) string { return formatFloat(t.Tokens) })
+		qosGauge("hmmd_qos_debt", "Token-bucket overdraft in predicted-cost units by tenant.",
+			func(t qos.TenantStats) string { return formatFloat(t.Debt) })
 	}
 
 	if len(m.stages) > 0 {

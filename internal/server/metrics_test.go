@@ -30,7 +30,7 @@ func TestMetricsRender(t *testing.T) {
 		},
 		Dispatched: 15, Completed: 13, Failovers: 1, BusyRetries: 2,
 	}
-	out := m.Render(7, 2, 5, hypermm.PoolStats{Hits: 11, Misses: 4, Size: 3}, cl)
+	out := m.Render(7, 2, 5, hypermm.PoolStats{Hits: 11, Misses: 4, Size: 3}, cl, nil)
 	for _, want := range []string{
 		"hmmd_queue_depth 3",
 		"hmmd_inflight_jobs 1",
@@ -66,7 +66,7 @@ func TestMetricsRender(t *testing.T) {
 	}
 
 	// Standalone serving renders no cluster family at all.
-	if plain := m.Render(7, 2, 5, hypermm.PoolStats{}, nil); strings.Contains(plain, "hmmd_cluster_") {
+	if plain := m.Render(7, 2, 5, hypermm.PoolStats{}, nil, nil); strings.Contains(plain, "hmmd_cluster_") {
 		t.Error("nil cluster stats still rendered a cluster metric")
 	}
 }
